@@ -1,0 +1,19 @@
+//! Criterion bench for the design ablations (layout mismatch, dense fill).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mda_bench::{experiments::ablation, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    g.bench_function("layout-mismatch/tiny", |b| {
+        b.iter(|| std::hint::black_box(ablation::layout_mismatch(Scale::Tiny)))
+    });
+    g.bench_function("dense-fill/tiny", |b| {
+        b.iter(|| std::hint::black_box(ablation::dense_fill(Scale::Tiny)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

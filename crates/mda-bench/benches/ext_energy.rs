@@ -1,0 +1,14 @@
+//! Criterion bench for the memory-energy extension experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mda_bench::{experiments::ext_energy, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ext_energy");
+    g.sample_size(10);
+    g.bench_function("tiny", |b| b.iter(|| std::hint::black_box(ext_energy::run(Scale::Tiny))));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Criterion bench for the multi-programmed extension experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mda_bench::{experiments::ext_multicore, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ext_multicore");
+    g.sample_size(10);
+    g.bench_function("tiny", |b| {
+        b.iter(|| std::hint::black_box(ext_multicore::run(Scale::Tiny)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Criterion bench for Fig. 10: access-mix extraction from the compiled
+//! traces of all seven kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mda_bench::{experiments::fig10, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    g.bench_function("access-mix/tiny", |b| {
+        b.iter(|| std::hint::black_box(fig10::run(Scale::Tiny)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion bench for Fig. 12: the LLC-capacity sweep of normalized
+//! execution cycles (benched at its smallest LLC point to stay fast).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mda_bench::{experiments::fig12, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    let llc = Scale::Tiny.llc_sweep()[0];
+    g.bench_function("tiny/smallest-llc", |b| {
+        b.iter(|| std::hint::black_box(fig12::run_one(Scale::Tiny, llc)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Criterion bench for Fig. 15: column-occupancy timelines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mda_bench::{experiments::fig15, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig15");
+    g.sample_size(10);
+    g.bench_function("tiny", |b| b.iter(|| std::hint::black_box(fig15::run(Scale::Tiny))));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Criterion bench for Fig. 17: faster-main-memory sensitivity.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mda_bench::{experiments::fig17, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig17");
+    g.sample_size(10);
+    g.bench_function("tiny", |b| b.iter(|| std::hint::black_box(fig17::run(Scale::Tiny))));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Criterion bench for Table I rendering (configuration assembly).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mda_bench::{experiments::table1, Scale};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("table1/render", |b| {
+        b.iter(|| std::hint::black_box(table1::render(Scale::Paper)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! The evaluation harness CLI: regenerates every table and figure of the
+//! paper.
+//!
+//! ```text
+//! figures <experiment|all> [--scale tiny|scaled|paper] [--csv DIR]
+//!
+//! experiments: table1 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17
+//!              ablation ext_tiling
+//!
+//! --csv DIR additionally writes every table-shaped figure as CSV files
+//! under DIR (for external plotting).
+//! ```
+
+use mda_bench::experiments::{
+    ablation, ext_energy, ext_multicore, ext_tiling, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, table1,
+};
+use mda_bench::Scale;
+use std::time::Instant;
+
+const EXPERIMENTS: [&str; 13] = [
+    "table1", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation",
+    "ext_tiling", "ext_multicore", "ext_energy",
+];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: figures <{}|all> [--scale tiny|scaled|paper] [--csv DIR]",
+        EXPERIMENTS.join("|")
+    );
+    std::process::exit(2);
+}
+
+/// Writes `name.csv` under `dir` (best-effort, reported on stderr).
+fn emit_csv(dir: &std::path::Path, name: &str, csv: &str) {
+    let path = dir.join(format!("{name}.csv"));
+    match std::fs::write(&path, csv) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}
+
+fn run_csv(name: &str, scale: Scale, dir: &std::path::Path) {
+    match name {
+        "fig11" => {
+            let f = fig11::run(scale);
+            emit_csv(dir, "fig11_hit_rate", &f.hit_rate.to_csv());
+            emit_csv(dir, "fig11_fills", &f.fills.to_csv());
+        }
+        "fig12" => {
+            for (llc, fig) in fig12::run(scale) {
+                emit_csv(dir, &format!("fig12_llc_{}k", llc / 1024), &fig.to_csv());
+            }
+        }
+        "fig13" => emit_csv(dir, "fig13", &fig13::run(scale).to_csv()),
+        "fig14" => {
+            let f = fig14::run(scale);
+            emit_csv(dir, "fig14_llc_accesses", &f.llc_accesses.to_csv());
+            emit_csv(dir, "fig14_memory_bytes", &f.memory_bytes.to_csv());
+        }
+        "fig16" => emit_csv(dir, "fig16", &fig16::run(scale).to_csv()),
+        "fig17" => emit_csv(dir, "fig17", &fig17::run(scale).to_csv()),
+        "ablation" => {
+            emit_csv(dir, "ablation_layout", &ablation::layout_mismatch(scale).to_csv());
+            emit_csv(dir, "ablation_dense", &ablation::dense_fill(scale).to_csv());
+            emit_csv(dir, "ablation_subrow", &ablation::sub_row_buffers(scale).to_csv());
+            emit_csv(dir, "ablation_2p1l", &ablation::taxonomy_2p1l(scale).to_csv());
+        }
+        "ext_tiling" => emit_csv(dir, "ext_tiling", &ext_tiling::run(scale).to_csv()),
+        "ext_multicore" => emit_csv(dir, "ext_multicore", &ext_multicore::run(scale).to_csv()),
+        "ext_energy" => emit_csv(dir, "ext_energy", &ext_energy::run(scale).to_csv()),
+        // table1/fig10/fig15 are not kernel×design tables.
+        _ => {}
+    }
+}
+
+fn run_one(name: &str, scale: Scale) {
+    let t0 = Instant::now();
+    let out = match name {
+        "table1" => table1::render(scale),
+        "fig10" => fig10::render(scale),
+        "fig11" => fig11::render(scale),
+        "fig12" => fig12::render(scale),
+        "fig13" => fig13::run(scale).render(),
+        "fig14" => fig14::render(scale),
+        "fig15" => fig15::render(scale),
+        "fig16" => fig16::run(scale).render(),
+        "fig17" => fig17::run(scale).render(),
+        "ablation" => ablation::render(scale),
+        "ext_tiling" => ext_tiling::run(scale).render(),
+        "ext_multicore" => ext_multicore::run(scale).render(),
+        "ext_energy" => ext_energy::run(scale).render(),
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            usage()
+        }
+    };
+    println!("{out}");
+    eprintln!("[{name} completed in {:.1}s]\n", t0.elapsed().as_secs_f64());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Scaled;
+    let mut targets: Vec<String> = Vec::new();
+    let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let Some(v) = it.next() else { usage() };
+                scale = match Scale::parse(&v) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        usage()
+                    }
+                };
+            }
+            "--csv" => {
+                let Some(v) = it.next() else { usage() };
+                csv_dir = Some(std::path::PathBuf::from(v));
+            }
+            "--help" | "-h" => usage(),
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        usage();
+    }
+    if targets.iter().any(|t| t == "all") {
+        targets = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+    if let Some(dir) = &csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+    eprintln!("scale: {scale}\n");
+    for t in &targets {
+        run_one(t, scale);
+        if let Some(dir) = &csv_dir {
+            run_csv(t, scale, dir);
+        }
+    }
+}

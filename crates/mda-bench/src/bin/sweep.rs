@@ -1,0 +1,166 @@
+//! Design-space exploration CLI: sweep one system parameter across its
+//! range for one kernel, printing normalized cycles per design.
+//!
+//! ```text
+//! sweep <parameter> [--kernel sgemm] [--scale tiny|scaled|paper]
+//!
+//! parameters:
+//!   llc        LLC capacity (the Fig. 12 axis, extended)
+//!   mshrs      L1 MSHR count (miss-level parallelism)
+//!   channels   memory channels
+//!   prefetch   baseline prefetch degree
+//!   subbuf     open row/column buffers per bank (Sec. IX-B)
+//!   window     core instruction window
+//! ```
+
+use mda_bench::Scale;
+use mda_sim::{simulate, HierarchyKind, SystemConfig};
+use mda_workloads::Kernel;
+
+struct Point {
+    label: String,
+    cfgs: Vec<(String, SystemConfig)>,
+}
+
+fn designs(mut f: impl FnMut(HierarchyKind) -> SystemConfig) -> Vec<(String, SystemConfig)> {
+    [
+        HierarchyKind::Baseline1P1L,
+        HierarchyKind::P1L2DifferentSet,
+        HierarchyKind::P1L2SameSet,
+        HierarchyKind::P2L2Sparse,
+    ]
+    .into_iter()
+    .map(|k| (k.name().to_string(), f(k)))
+    .collect()
+}
+
+fn points(param: &str, scale: Scale) -> Result<Vec<Point>, String> {
+    let out = match param {
+        "llc" => [1u64, 2, 4, 8, 16]
+            .into_iter()
+            .map(|mult| {
+                let llc = scale.llc_sweep()[0] * mult / 2;
+                Point {
+                    label: format!("llc={}KB", llc / 1024),
+                    cfgs: designs(|k| scale.system_with_llc(k, llc)),
+                }
+            })
+            .collect(),
+        "mshrs" => [2usize, 4, 8, 16, 32]
+            .into_iter()
+            .map(|m| Point {
+                label: format!("l1-mshrs={m}"),
+                cfgs: designs(|k| {
+                    let mut c = scale.system(k);
+                    c.l1.mshrs = m;
+                    c
+                }),
+            })
+            .collect(),
+        "channels" => [1usize, 2, 4, 8]
+            .into_iter()
+            .map(|ch| Point {
+                label: format!("channels={ch}"),
+                cfgs: designs(|k| {
+                    let mut c = scale.system(k);
+                    c.mem.channels = ch;
+                    c
+                }),
+            })
+            .collect(),
+        "prefetch" => [1usize, 2, 4, 8, 16]
+            .into_iter()
+            .map(|d| Point {
+                label: format!("pf-degree={d}"),
+                cfgs: designs(|k| {
+                    let mut c = scale.system(k);
+                    c.prefetch_degree = d;
+                    c
+                }),
+            })
+            .collect(),
+        "subbuf" => [1usize, 2, 4, 8]
+            .into_iter()
+            .map(|s| Point {
+                label: format!("sub-buffers={s}"),
+                cfgs: designs(|k| {
+                    let mut c = scale.system(k);
+                    c.mem.sub_buffers = s;
+                    c
+                }),
+            })
+            .collect(),
+        "window" => [16usize, 32, 64, 96, 192]
+            .into_iter()
+            .map(|w| Point {
+                label: format!("window={w}"),
+                cfgs: designs(|k| {
+                    let mut c = scale.system(k);
+                    c.core.window = w;
+                    c
+                }),
+            })
+            .collect(),
+        other => return Err(format!("unknown parameter '{other}'")),
+    };
+    Ok(out)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Scaled;
+    let mut kernel = Kernel::Sgemm;
+    let mut param: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = Scale::parse(&it.next().unwrap_or_default()).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                })
+            }
+            "--kernel" => {
+                kernel = Kernel::parse(&it.next().unwrap_or_default()).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                })
+            }
+            p if param.is_none() => param = Some(p.to_string()),
+            other => {
+                eprintln!("unexpected argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(param) = param else {
+        eprintln!("usage: sweep <llc|mshrs|channels|prefetch|subbuf|window> [--kernel K] [--scale S]");
+        std::process::exit(2);
+    };
+    let pts = points(&param, scale).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+
+    let src = kernel.build(scale.input());
+    println!("sweep of {param} — {kernel} at {scale} scale, cycles normalized to each point's 1P1L\n");
+    print!("{:>16}", "");
+    for (name, _) in &pts[0].cfgs {
+        print!("  {name:>14}");
+    }
+    println!();
+    for p in pts {
+        print!("{:>16}", p.label);
+        let mut base = 1u64;
+        for (name, cfg) in &p.cfgs {
+            let r = simulate(src.as_ref(), cfg);
+            if name == "1P1L" {
+                base = r.cycles;
+                print!("  {:>14}", r.cycles);
+            } else {
+                print!("  {:>14.3}", r.cycles as f64 / base as f64);
+            }
+        }
+        println!();
+    }
+}

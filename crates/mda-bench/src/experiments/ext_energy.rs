@@ -1,0 +1,56 @@
+//! Extension (paper Sec. III): memory-system energy.
+//!
+//! The paper argues that column-mode transfers reduce row-buffer
+//! operations and data movement, "further enhancing efficiencies", but
+//! does not quantify it. This experiment prices the simulator's event
+//! counts with an STT-class [`EnergyModel`] and reports each design's
+//! memory-system energy normalized to the prefetching baseline.
+
+use crate::experiments::{run_kernel, FigureTable};
+use crate::fig11::PLOTTED;
+use crate::scale::Scale;
+use mda_sim::{EnergyModel, HierarchyKind};
+use mda_workloads::Kernel;
+
+/// Runs the energy comparison (memory-system energy, normalized).
+pub fn run(scale: Scale) -> FigureTable {
+    let n = scale.input();
+    let model = EnergyModel::stt();
+    let kernels: Vec<String> = Kernel::all().iter().map(|k| k.name().to_string()).collect();
+    let mut fig = FigureTable::new(
+        format!("Extension — memory-system energy normalized to 1P1L+prefetch ({n}×{n})"),
+        kernels,
+    );
+    let baselines: Vec<f64> = Kernel::all()
+        .iter()
+        .map(|k| {
+            model.memory_energy_nj(&run_kernel(*k, n, &scale.system(HierarchyKind::Baseline1P1L)))
+        })
+        .collect();
+    for kind in PLOTTED {
+        let values: Vec<f64> = Kernel::all()
+            .iter()
+            .zip(&baselines)
+            .map(|(k, base)| {
+                let e = model.memory_energy_nj(&run_kernel(*k, n, &scale.system(kind)));
+                e / base.max(1e-9)
+            })
+            .collect();
+        fig.push_series(kind.name(), values);
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mda_designs_cut_memory_energy_across_the_suite() {
+        let fig = run(Scale::Tiny);
+        for design in ["1P2L", "1P2L_SameSet", "2P2L"] {
+            let avg = fig.average(design).expect("series");
+            assert!(avg < 0.6, "{design}: memory energy only fell to {avg:.2}");
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Fig. 13: the cache-resident study — two-level hierarchy with a large L2
+//! as the LLC and the small input, normalized total cycles.
+//!
+//! With the working set resident, the memory-bandwidth advantage mostly
+//! disappears and the remaining benefit comes from dual-direction
+//! vectorization and L1↔L2 traffic, so the paper sees much smaller (but
+//! still positive) reductions than in Fig. 12.
+
+use crate::experiments::{run_kernel, FigureTable};
+use crate::scale::Scale;
+use mda_sim::HierarchyKind;
+use mda_workloads::Kernel;
+
+/// Designs plotted by Fig. 13 (the paper shows 1P1L, 1P2L, 2P2L).
+pub const PLOTTED: [HierarchyKind; 2] =
+    [HierarchyKind::P1L2DifferentSet, HierarchyKind::P2L2Sparse];
+
+/// Runs the cache-resident comparison.
+pub fn run(scale: Scale) -> FigureTable {
+    let n = scale.small_input();
+    let kernels: Vec<String> = Kernel::all().iter().map(|k| k.name().to_string()).collect();
+    let mut fig = FigureTable::new(
+        format!(
+            "Fig. 13 — normalized cycles, cache-resident ({n}×{n}, 2-level LLC)"
+        ),
+        kernels,
+    );
+    let baselines: Vec<u64> = Kernel::all()
+        .iter()
+        .map(|k| {
+            run_kernel(*k, n, &scale.cache_resident_system(HierarchyKind::Baseline1P1L)).cycles
+        })
+        .collect();
+    for kind in PLOTTED {
+        let values: Vec<f64> = Kernel::all()
+            .iter()
+            .zip(&baselines)
+            .map(|(k, base)| {
+                let cycles = run_kernel(*k, n, &scale.cache_resident_system(kind)).cycles;
+                cycles as f64 / (*base).max(1) as f64
+            })
+            .collect();
+        fig.push_series(kind.name(), values);
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fig12;
+
+    #[test]
+    fn resident_latency_is_still_reduced_on_average() {
+        // Paper: "Latency is still reduced, on average" for the
+        // cache-resident configuration.
+        let resident = run(Scale::Tiny);
+        for design in ["1P2L", "2P2L"] {
+            let res = resident.average(design).expect("series");
+            assert!(res < 1.0, "{design} resident average {res} regressed");
+        }
+    }
+
+    #[test]
+    fn bandwidth_bound_kernel_benefits_less_when_resident() {
+        // The mechanism behind the paper's Fig. 13: kernels whose MDA win
+        // comes from memory bandwidth (sobel is the purest case — almost
+        // all column volume, no op-count reduction beyond vectorization of
+        // a cheap stencil) lose most of that win once the working set is
+        // LLC-resident. Compute-vectorization-dominated kernels keep
+        // their µop advantage in cache, which our issue-bound core model
+        // weights more heavily than the paper's (see EXPERIMENTS.md).
+        let resident = run(Scale::Tiny);
+        let non_resident = fig12::run_one(Scale::Tiny, Scale::Tiny.llc_sweep()[0]);
+        let res = resident.value("1P2L", "sobel").expect("sobel series");
+        let non = non_resident.value("1P2L", "sobel").expect("sobel series");
+        assert!(
+            res > non,
+            "sobel resident {res} should benefit less than non-resident {non}"
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Fig. 14: LLC accesses and LLC↔memory transfer, normalized to the
+//! prefetching 1P1L baseline (1 MB-equivalent LLC, large input).
+//!
+//! The paper reports the MDA designs cutting L3 accesses to ~20–22% of the
+//! baseline and memory bytes to ~15–21%: MSHR coalescing merges many misses
+//! to the same column into one column access, and column transfers stop
+//! fetching 64 bytes per useful word.
+
+use crate::experiments::{run_kernel, FigureTable};
+use crate::fig11::PLOTTED;
+use crate::scale::Scale;
+use mda_sim::HierarchyKind;
+use mda_workloads::Kernel;
+
+/// Both panels of the figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig14 {
+    /// Normalized LLC demand accesses.
+    pub llc_accesses: FigureTable,
+    /// Normalized LLC↔memory bytes.
+    pub memory_bytes: FigureTable,
+}
+
+/// Runs both panels.
+pub fn run(scale: Scale) -> Fig14 {
+    let n = scale.input();
+    let kernels: Vec<String> = Kernel::all().iter().map(|k| k.name().to_string()).collect();
+    let mut acc =
+        FigureTable::new(format!("Fig. 14a — normalized LLC accesses ({n}×{n})"), kernels.clone());
+    let mut bytes = FigureTable::new(
+        format!("Fig. 14b — normalized LLC–memory transfer ({n}×{n})"),
+        kernels,
+    );
+
+    let base: Vec<(u64, u64)> = Kernel::all()
+        .iter()
+        .map(|k| {
+            let r = run_kernel(*k, n, &scale.system(HierarchyKind::Baseline1P1L));
+            (r.llc_accesses(), r.llc_memory_bytes())
+        })
+        .collect();
+    for kind in PLOTTED {
+        let mut acc_vals = Vec::new();
+        let mut byte_vals = Vec::new();
+        for (k, (base_acc, base_bytes)) in Kernel::all().iter().zip(&base) {
+            let r = run_kernel(*k, n, &scale.system(kind));
+            acc_vals.push(r.llc_accesses() as f64 / (*base_acc).max(1) as f64);
+            byte_vals.push(r.llc_memory_bytes() as f64 / (*base_bytes).max(1) as f64);
+        }
+        acc.push_series(kind.name(), acc_vals);
+        bytes.push_series(kind.name(), byte_vals);
+    }
+    Fig14 { llc_accesses: acc, memory_bytes: bytes }
+}
+
+/// Renders both panels.
+pub fn render(scale: Scale) -> String {
+    let f = run(scale);
+    format!("{}\n{}", f.llc_accesses.render(), f.memory_bytes.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_collapses_under_mda_caching() {
+        let f = run(Scale::Tiny);
+        for design in ["1P2L", "1P2L_SameSet", "2P2L"] {
+            let acc = f.llc_accesses.average(design).expect("series");
+            let bytes = f.memory_bytes.average(design).expect("series");
+            assert!(acc < 0.6, "{design} LLC accesses {acc} not reduced enough");
+            assert!(bytes < 0.8, "{design} memory bytes {bytes} not reduced enough");
+        }
+    }
+}

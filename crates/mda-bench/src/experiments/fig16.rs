@@ -1,0 +1,66 @@
+//! Fig. 16: impact of highly asymmetric write latency on the 2P2L LLC.
+//!
+//! On-chip NVM technologies exhibit a wide range of write/read latency
+//! ratios; the paper re-runs the 2P2L design with writes taking 20 extra
+//! cycles and finds only a small (≈0.4% average) degradation, because LLC
+//! writes (fills and writebacks) are largely off the critical path.
+
+use crate::experiments::{run_kernel, FigureTable};
+use crate::scale::Scale;
+use mda_sim::HierarchyKind;
+use mda_workloads::Kernel;
+
+/// Extra write cycles applied in the slow-write variant (paper: 20).
+pub const SLOW_WRITE_CYCLES: u64 = 20;
+
+/// Runs the asymmetry study: normalized cycles of 1P2L, 2P2L and
+/// 2P2L-Slow_Write against the baseline.
+pub fn run(scale: Scale) -> FigureTable {
+    let n = scale.input();
+    let kernels: Vec<String> = Kernel::all().iter().map(|k| k.name().to_string()).collect();
+    let mut fig = FigureTable::new(
+        format!("Fig. 16 — 2P2L write asymmetry (+{SLOW_WRITE_CYCLES} cycles), normalized cycles ({n}×{n})"),
+        kernels,
+    );
+    let baselines: Vec<u64> = Kernel::all()
+        .iter()
+        .map(|k| run_kernel(*k, n, &scale.system(HierarchyKind::Baseline1P1L)).cycles)
+        .collect();
+
+    let variants: [(&str, mda_sim::SystemConfig); 3] = [
+        ("1P2L", scale.system(HierarchyKind::P1L2DifferentSet)),
+        ("2P2L", scale.system(HierarchyKind::P2L2Sparse)),
+        (
+            "2P2L-Slow_Write",
+            scale
+                .system(HierarchyKind::P2L2Sparse)
+                .with_llc_write_penalty(SLOW_WRITE_CYCLES),
+        ),
+    ];
+    for (name, cfg) in variants {
+        let values: Vec<f64> = Kernel::all()
+            .iter()
+            .zip(&baselines)
+            .map(|(k, base)| run_kernel(*k, n, &cfg).cycles as f64 / (*base).max(1) as f64)
+            .collect();
+        fig.push_series(name, values);
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slow_writes_cost_little() {
+        let fig = run(Scale::Tiny);
+        let fast = fig.average("2P2L").expect("series");
+        let slow = fig.average("2P2L-Slow_Write").expect("series");
+        assert!(slow >= fast, "extra write latency cannot speed things up");
+        assert!(
+            slow - fast < 0.10,
+            "write asymmetry should cost a few percent at most ({fast} → {slow})"
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Fig. 17: benefits compared with, and in the presence of, a 1.6× faster
+//! main memory.
+//!
+//! Two questions from the paper: does the approach keep helping as memory
+//! gets faster (yes, similar trends), and does MDA caching on a *slower*
+//! MDA memory still beat a conventional hierarchy on a faster conventional
+//! memory (yes — 1P2L on base memory beats 1P1L-fast)?
+
+use crate::experiments::{run_kernel, FigureTable};
+use crate::scale::Scale;
+use mda_sim::{HierarchyKind, SystemConfig};
+use mda_workloads::Kernel;
+
+/// Runs the study. Every series is normalized to the *base-speed* 1P1L
+/// baseline, so `1P1L-fast` itself appears as a series too, exactly like
+/// the paper's plot.
+pub fn run(scale: Scale) -> FigureTable {
+    let n = scale.input();
+    let kernels: Vec<String> = Kernel::all().iter().map(|k| k.name().to_string()).collect();
+    let mut fig = FigureTable::new(
+        format!("Fig. 17 — sensitivity to a 1.6× faster main memory ({n}×{n})"),
+        kernels,
+    );
+    let baselines: Vec<u64> = Kernel::all()
+        .iter()
+        .map(|k| run_kernel(*k, n, &scale.system(HierarchyKind::Baseline1P1L)).cycles)
+        .collect();
+
+    let variants: Vec<(String, SystemConfig)> = [
+        HierarchyKind::Baseline1P1L,
+        HierarchyKind::P1L2DifferentSet,
+        HierarchyKind::P1L2SameSet,
+        HierarchyKind::P2L2Sparse,
+    ]
+    .into_iter()
+    .flat_map(|kind| {
+        let base = (kind.name().to_string(), scale.system(kind));
+        let fast = (format!("{}-fast", kind.name()), scale.system(kind).with_fast_memory());
+        [base, fast]
+    })
+    .collect();
+
+    for (name, cfg) in variants {
+        if name == "1P1L" {
+            // That's the normalizer itself; plotting it would be all 1.0.
+            continue;
+        }
+        let values: Vec<f64> = Kernel::all()
+            .iter()
+            .zip(&baselines)
+            .map(|(k, base)| run_kernel(*k, n, &cfg).cycles as f64 / (*base).max(1) as f64)
+            .collect();
+        fig.push_series(name, values);
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trends_hold_with_faster_memory() {
+        let fig = run(Scale::Tiny);
+        let base_fast = fig.average("1P1L-fast").expect("series");
+        let mda_fast = fig.average("1P2L-fast").expect("series");
+        assert!(mda_fast < base_fast, "1P2L-fast should beat 1P1L-fast");
+    }
+
+    #[test]
+    fn slower_mda_memory_still_competitive_with_fast_conventional() {
+        // The paper's strongest claim: 1P2L on the base-speed memory
+        // outperforms the baseline on the 1.6× faster memory.
+        let fig = run(Scale::Tiny);
+        let mda_base = fig.average("1P2L").expect("series");
+        let base_fast = fig.average("1P1L-fast").expect("series");
+        assert!(
+            mda_base < base_fast,
+            "1P2L on base memory ({mda_base}) should beat 1P1L-fast ({base_fast})"
+        );
+    }
+}

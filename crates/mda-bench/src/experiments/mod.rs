@@ -1,0 +1,157 @@
+//! One module per table/figure of the paper's evaluation.
+
+pub mod ablation;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod ext_energy;
+pub mod ext_multicore;
+pub mod ext_tiling;
+pub mod fig17;
+pub mod table1;
+
+use crate::table::{fmt_ratio, TextTable};
+use mda_sim::{simulate, SimReport, SystemConfig};
+use mda_workloads::Kernel;
+
+/// A figure rendered as kernels × design-series of normalized values, with
+/// the paper's trailing "Average" column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureTable {
+    /// Figure caption.
+    pub title: String,
+    /// Kernel names, one per row of the paper's x-axis.
+    pub kernels: Vec<String>,
+    /// One series per design: `(design name, value per kernel)`.
+    pub series: Vec<(String, Vec<f64>)>,
+}
+
+impl FigureTable {
+    /// Creates an empty figure table.
+    pub fn new(title: impl Into<String>, kernels: Vec<String>) -> FigureTable {
+        FigureTable { title: title.into(), kernels, series: Vec::new() }
+    }
+
+    /// Appends a design series.
+    ///
+    /// # Panics
+    /// Panics if the series length does not match the kernel count.
+    pub fn push_series(&mut self, design: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(values.len(), self.kernels.len(), "series length mismatch");
+        self.series.push((design.into(), values));
+    }
+
+    /// The value for `(design, kernel)`.
+    pub fn value(&self, design: &str, kernel: &str) -> Option<f64> {
+        let k = self.kernels.iter().position(|x| x == kernel)?;
+        let (_, vals) = self.series.iter().find(|(d, _)| d == design)?;
+        vals.get(k).copied()
+    }
+
+    /// Arithmetic mean of a design's series (the paper reports arithmetic
+    /// averages over benchmarks).
+    pub fn average(&self, design: &str) -> Option<f64> {
+        let (_, vals) = self.series.iter().find(|(d, _)| d == design)?;
+        if vals.is_empty() {
+            return None;
+        }
+        Some(vals.iter().sum::<f64>() / vals.len() as f64)
+    }
+
+    /// Renders the figure as CSV (kernels as rows, designs as columns,
+    /// trailing Average row) for external plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kernel");
+        for (d, _) in &self.series {
+            out.push(',');
+            out.push_str(d);
+        }
+        out.push('\n');
+        for (k, kernel) in self.kernels.iter().enumerate() {
+            out.push_str(kernel);
+            for (_, vals) in &self.series {
+                out.push_str(&format!(",{:.6}", vals[k]));
+            }
+            out.push('\n');
+        }
+        out.push_str("Average");
+        for (d, _) in &self.series {
+            out.push_str(&format!(",{:.6}", self.average(d).unwrap_or(0.0)));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Renders the figure as an aligned table, kernels as rows, designs as
+    /// columns, with an Average row.
+    pub fn render(&self) -> String {
+        let mut header = vec!["kernel".to_string()];
+        header.extend(self.series.iter().map(|(d, _)| d.clone()));
+        let mut t = TextTable::new(header);
+        for (k, kernel) in self.kernels.iter().enumerate() {
+            let mut row = vec![kernel.clone()];
+            row.extend(self.series.iter().map(|(_, v)| fmt_ratio(v[k])));
+            t.push_row(row);
+        }
+        let mut avg = vec!["Average".to_string()];
+        avg.extend(
+            self.series
+                .iter()
+                .map(|(d, _)| fmt_ratio(self.average(d).unwrap_or(0.0))),
+        );
+        t.push_row(avg);
+        format!("{}\n{}", self.title, t.render())
+    }
+}
+
+impl std::fmt::Display for FigureTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+/// Runs `kernel` at input size `n` on `cfg`.
+pub fn run_kernel(kernel: Kernel, n: u64, cfg: &SystemConfig) -> SimReport {
+    let src = kernel.build(n);
+    simulate(src.as_ref(), cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_table_lookup_and_average() {
+        let mut f = FigureTable::new("t", vec!["a".into(), "b".into()]);
+        f.push_series("1P2L", vec![0.2, 0.4]);
+        assert_eq!(f.value("1P2L", "b"), Some(0.4));
+        assert_eq!(f.value("2P2L", "b"), None);
+        assert_eq!(f.value("1P2L", "zz"), None);
+        assert!((f.average("1P2L").unwrap() - 0.3).abs() < 1e-12);
+        let out = f.render();
+        assert!(out.contains("Average"));
+    }
+
+    #[test]
+    fn csv_has_header_rows_and_average() {
+        let mut f = FigureTable::new("t", vec!["a".into(), "b".into()]);
+        f.push_series("1P2L", vec![0.25, 0.75]);
+        let csv = f.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "kernel,1P2L");
+        assert_eq!(lines[1], "a,0.250000");
+        assert_eq!(lines[2], "b,0.750000");
+        assert_eq!(lines[3], "Average,0.500000");
+    }
+
+    #[test]
+    #[should_panic(expected = "series length mismatch")]
+    fn mismatched_series_panics() {
+        let mut f = FigureTable::new("t", vec!["a".into()]);
+        f.push_series("x", vec![0.1, 0.2]);
+    }
+}

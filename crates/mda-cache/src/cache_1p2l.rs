@@ -1,0 +1,528 @@
+//! Design 1: physically 1-D, logically 2-D cache (paper Sec. IV-C).
+//!
+//! Row and column lines are both stored as dense word sequences in ordinary
+//! SRAM; an orientation bit per line distinguishes them (here it lives in
+//! the [`LineKey`]). Two index mappings are supported:
+//!
+//! * **Different-Set** — rows/columns of a 2-D block spread over different
+//!   sets (tag kept at tile granularity). The preferred orientation is
+//!   probed first; probing the other orientation, and checking the up-to-8
+//!   intersecting lines on vector misses and writes, costs extra sequential
+//!   tag accesses which this model reports in [`Probe::extra_tag_accesses`].
+//! * **Same-Set** — all sixteen lines of a block map to one set, so both
+//!   orientations are seen in a single set read (no extra tag latency) at
+//!   the price of set-conflict pressure.
+//!
+//! Duplicate words (intersecting row/column lines co-resident) are managed
+//! by the Fig. 9 policy in [`crate::policy`]: duplication is allowed only
+//! while clean; writes evict other copies; fills write dirty intersections
+//! back first. Per-word dirty bits (one per word, paper Sec. IV-C) keep
+//! false sharing from inflating writeback traffic.
+
+use crate::config::{CacheConfig, SetMapping};
+use crate::level::{Access, AccessWidth, CacheLevel, Probe, Writeback};
+use crate::set_array::SetArray;
+use crate::stats::CacheStats;
+use mda_mem::{LineKey, TILE_LINES};
+
+/// Per-line metadata: one dirty bit per word.
+#[derive(Debug, Clone, Copy, Default)]
+struct LineMeta {
+    dirty: u8,
+}
+
+/// The logically 2-D, physically 1-D cache.
+#[derive(Debug, Clone)]
+pub struct Cache1P2L {
+    config: CacheConfig,
+    mapping: SetMapping,
+    array: SetArray<LineKey, LineMeta>,
+    row_lines: usize,
+    col_lines: usize,
+    stats: CacheStats,
+}
+
+impl Cache1P2L {
+    /// Builds a 1P2L level from `config` with the given index `mapping`.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid.
+    pub fn new(config: CacheConfig, mapping: SetMapping) -> Cache1P2L {
+        if let Err(msg) = config.validate() {
+            panic!("invalid CacheConfig: {msg}");
+        }
+        let array = SetArray::new(config.line_sets(), config.assoc);
+        Cache1P2L { config, mapping, array, row_lines: 0, col_lines: 0, stats: CacheStats::default() }
+    }
+
+    /// The index mapping in use.
+    pub fn mapping(&self) -> SetMapping {
+        self.mapping
+    }
+
+    fn set_of(&self, line: &LineKey) -> usize {
+        let sets = self.array.num_sets() as u64;
+        match self.mapping {
+            SetMapping::DifferentSet => ((line.tile * 8 + u64::from(line.idx)) % sets) as usize,
+            SetMapping::SameSet => (line.tile % sets) as usize,
+        }
+    }
+
+    /// Extra sequential tag accesses for probing the non-preferred
+    /// orientation: Different-Set reads a second set; Same-Set sees both
+    /// orientations in one set read.
+    fn cross_check_cost(&self, lines: u32) -> u32 {
+        match self.mapping {
+            SetMapping::DifferentSet => lines,
+            SetMapping::SameSet => 0,
+        }
+    }
+
+    fn present(&self, line: &LineKey) -> bool {
+        self.array.peek(self.set_of(line), *line).is_some()
+    }
+
+    fn note_line_removed(&mut self, line: &LineKey) {
+        match line.orient {
+            mda_mem::Orientation::Row => self.row_lines -= 1,
+            mda_mem::Orientation::Col => self.col_lines -= 1,
+        }
+    }
+
+    fn note_line_added(&mut self, line: &LineKey) {
+        match line.orient {
+            mda_mem::Orientation::Row => self.row_lines += 1,
+            mda_mem::Orientation::Col => self.col_lines += 1,
+        }
+    }
+
+    /// Removes `line`, emitting a writeback if it holds dirty words.
+    fn evict_line(&mut self, line: LineKey, out: &mut Vec<Writeback>) {
+        let set = self.set_of(&line);
+        if let Some(meta) = self.array.remove(set, line) {
+            self.note_line_removed(&line);
+            self.stats.dup_evictions += 1;
+            if meta.dirty != 0 {
+                self.stats.dup_writebacks += 1;
+                self.stats.writebacks_out += 1;
+                out.push(Writeback { line, dirty: meta.dirty });
+            }
+        }
+    }
+
+    /// Cleans `line` in place (Fig. 9: Modified → Clean on
+    /// read-to-duplicate), emitting the writeback of its dirty words.
+    fn clean_line(&mut self, line: LineKey, out: &mut Vec<Writeback>) {
+        let set = self.set_of(&line);
+        if let Some(meta) = self.array.get_mut(set, line) {
+            if meta.dirty != 0 {
+                let dirty = meta.dirty;
+                meta.dirty = 0;
+                self.stats.dup_writebacks += 1;
+                self.stats.writebacks_out += 1;
+                out.push(Writeback { line, dirty });
+            }
+        }
+    }
+
+    /// Resolves duplication before `line` is (re)filled with `dirty` words
+    /// pre-modified: intersecting other-orientation lines are cleaned when
+    /// the new copy is a read duplicate, and evicted when the corresponding
+    /// word is being modified.
+    fn resolve_intersections(&mut self, line: &LineKey, dirty: u8, out: &mut Vec<Writeback>) {
+        for off in 0..TILE_LINES as u8 {
+            let word = line.word_at(off);
+            let other = line.intersecting_at(word);
+            if !self.present(&other) {
+                continue;
+            }
+            if dirty & (1 << off) != 0 {
+                // Write to duplicate: other copies are evicted.
+                self.evict_line(other, out);
+            } else {
+                // Read to duplicate: a dirty other copy is propagated first.
+                let other_off = other.offset_of(word).expect("intersection is on the line");
+                let other_dirty = self
+                    .array
+                    .peek(self.set_of(&other), other)
+                    .map(|m| m.dirty & (1 << other_off) != 0)
+                    .unwrap_or(false);
+                if other_dirty {
+                    self.clean_line(other, out);
+                }
+                self.stats.duplications += 1;
+            }
+        }
+    }
+
+    /// Applies a demand write to a resident line, enforcing the duplicate
+    /// policy on every written word.
+    fn write_resident(&mut self, line: LineKey, mask: u8, out: &mut Vec<Writeback>) {
+        // Evict other copies of the written words first.
+        for off in 0..TILE_LINES as u8 {
+            if mask & (1 << off) == 0 {
+                continue;
+            }
+            let other = line.intersecting_at(line.word_at(off));
+            if self.present(&other) {
+                self.evict_line(other, out);
+            }
+        }
+        let set = self.set_of(&line);
+        if let Some(meta) = self.array.get_mut(set, line) {
+            meta.dirty |= mask;
+        }
+    }
+}
+
+impl CacheLevel for Cache1P2L {
+    fn probe(&mut self, acc: &Access) -> Probe {
+        let preferred = acc.preferred_line();
+        let mut probe = Probe::hit();
+
+        match acc.width {
+            AccessWidth::Vector => {
+                // Vector hits require the correctly aligned line.
+                let hit = self.present(&preferred);
+                self.stats.note_access(acc, hit);
+                if hit {
+                    if acc.is_write {
+                        // Both orientations must be checked on writes.
+                        probe.extra_tag_accesses += self.cross_check_cost(TILE_LINES as u32);
+                        let mut wbs = Vec::new();
+                        self.write_resident(preferred, 0xFF, &mut wbs);
+                        probe.writebacks = wbs;
+                    } else {
+                        // Refresh recency.
+                        let set = self.set_of(&preferred);
+                        let _ = self.array.get_mut(set, preferred);
+                    }
+                } else {
+                    // Miss: the up-to-eight intersecting lines of the other
+                    // orientation are checked for dirty data to propagate.
+                    probe.hit = false;
+                    probe.fills = vec![preferred];
+                    probe.extra_tag_accesses += self.cross_check_cost(TILE_LINES as u32);
+                }
+            }
+            AccessWidth::Scalar => {
+                let off = preferred.offset_of(acc.word).expect("word within preferred line");
+                let other = preferred.intersecting_at(acc.word);
+                let in_preferred = self.present(&preferred);
+                let in_other = self.present(&other);
+
+                if acc.is_write {
+                    // Writes always check both orientations.
+                    probe.extra_tag_accesses += self.cross_check_cost(1);
+                    if in_preferred {
+                        let mut wbs = Vec::new();
+                        self.write_resident(preferred, 1 << off, &mut wbs);
+                        probe.writebacks = wbs;
+                        self.stats.note_access(acc, true);
+                    } else if in_other {
+                        // Mis-oriented write hit: the word's sole copy lives
+                        // in the other orientation; modify it there.
+                        let other_off =
+                            other.offset_of(acc.word).expect("intersection is on the line");
+                        let mut wbs = Vec::new();
+                        self.write_resident(other, 1 << other_off, &mut wbs);
+                        probe.writebacks = wbs;
+                        self.stats.misoriented_hits += 1;
+                        self.stats.note_access(acc, true);
+                    } else {
+                        probe.hit = false;
+                        probe.fills = vec![preferred];
+                        self.stats.note_access(acc, false);
+                    }
+                } else if in_preferred {
+                    let set = self.set_of(&preferred);
+                    let _ = self.array.get_mut(set, preferred);
+                    self.stats.note_access(acc, true);
+                } else if in_other {
+                    // Hit in the non-preferred orientation after a preferred
+                    // miss: one extra sequential tag access (Different-Set).
+                    probe.extra_tag_accesses += self.cross_check_cost(1);
+                    let set = self.set_of(&other);
+                    let _ = self.array.get_mut(set, other);
+                    self.stats.misoriented_hits += 1;
+                    self.stats.note_access(acc, true);
+                } else {
+                    probe.hit = false;
+                    probe.fills = vec![preferred];
+                    probe.extra_tag_accesses += self.cross_check_cost(1);
+                    self.stats.note_access(acc, false);
+                }
+            }
+        }
+
+        self.stats.extra_tag_accesses += u64::from(probe.extra_tag_accesses);
+        probe
+    }
+
+    fn fill(&mut self, line: LineKey, dirty: u8) -> Vec<Writeback> {
+        let mut out = Vec::new();
+        let set = self.set_of(&line);
+        if let Some(meta) = self.array.get_mut(set, line) {
+            // Already resident (e.g. race with a coalesced fill): merge.
+            meta.dirty |= dirty;
+            if dirty != 0 {
+                self.resolve_intersections(&line, dirty, &mut out);
+            }
+            return out;
+        }
+
+        self.resolve_intersections(&line, dirty, &mut out);
+        self.stats.demand_fills += 1;
+        if let Some((victim, meta)) = self.array.insert(set, line, LineMeta { dirty }) {
+            self.note_line_removed(&victim);
+            if meta.dirty != 0 {
+                self.stats.writebacks_out += 1;
+                out.push(Writeback { line: victim, dirty: meta.dirty });
+            }
+        }
+        self.note_line_added(&line);
+        out
+    }
+
+    fn absorb_writeback(&mut self, wb: &Writeback) -> Option<Vec<Writeback>> {
+        if !self.present(&wb.line) {
+            return None;
+        }
+        // The incoming dirty words modify this copy: other copies of those
+        // words must go (write-to-duplicate), and any dirty ones must be
+        // propagated further down by the caller.
+        let mut wbs = Vec::new();
+        self.write_resident(wb.line, wb.dirty, &mut wbs);
+        debug_assert!(wbs.iter().all(|w| w.line.overlaps(&wb.line)));
+        Some(wbs)
+    }
+
+    fn contains_line(&self, line: &LineKey) -> bool {
+        self.present(line)
+    }
+
+    fn occupancy(&self) -> (usize, usize, usize) {
+        (self.row_lines, self.col_lines, self.config.line_frames())
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut CacheStats {
+        &mut self.stats
+    }
+
+    fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    fn flush(&mut self) -> Vec<Writeback> {
+        let mut wbs = Vec::new();
+        for set in 0..self.array.num_sets() {
+            let resident: Vec<LineKey> = self.array.iter_set(set).map(|(k, _)| *k).collect();
+            for key in resident {
+                if let Some(meta) = self.array.remove(set, key) {
+                    self.note_line_removed(&key);
+                    if meta.dirty != 0 {
+                        self.stats.writebacks_out += 1;
+                        wbs.push(Writeback { line: key, dirty: meta.dirty });
+                    }
+                }
+            }
+        }
+        wbs
+    }
+
+    fn for_each_line(&self, f: &mut dyn FnMut(LineKey, u8)) {
+        for (key, meta) in self.array.iter() {
+            f(*key, meta.dirty);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mda_mem::{Orientation, WordAddr};
+
+    fn cache(mapping: SetMapping) -> Cache1P2L {
+        let mut cfg = CacheConfig::l1_32k();
+        cfg.size_bytes = 4096; // 16 sets × 4 ways
+        Cache1P2L::new(cfg, mapping)
+    }
+
+    #[test]
+    fn column_vector_miss_fills_column_line() {
+        let mut c = cache(SetMapping::DifferentSet);
+        let line = LineKey::new(2, Orientation::Col, 5);
+        let p = c.probe(&Access::vector_read(line, 0));
+        assert!(!p.hit);
+        assert_eq!(p.fills, vec![line]);
+        c.fill(line, 0);
+        assert!(c.probe(&Access::vector_read(line, 0)).hit);
+        assert_eq!(c.occupancy(), (0, 1, 64));
+    }
+
+    #[test]
+    fn scalar_hit_ignores_alignment() {
+        let mut c = cache(SetMapping::DifferentSet);
+        let row = LineKey::new(0, Orientation::Row, 3);
+        c.fill(row, 0);
+        // A column-preferring scalar read of a word in that row line hits.
+        let acc = Access::scalar_read(row.word_at(6), Orientation::Col, 0);
+        let p = c.probe(&acc);
+        assert!(p.hit);
+        assert_eq!(p.extra_tag_accesses, 1, "different-set pays one extra check");
+        assert_eq!(c.stats().misoriented_hits, 1);
+    }
+
+    #[test]
+    fn same_set_mapping_has_no_extra_tag_cost() {
+        let mut c = cache(SetMapping::SameSet);
+        let row = LineKey::new(0, Orientation::Row, 3);
+        c.fill(row, 0);
+        let acc = Access::scalar_read(row.word_at(6), Orientation::Col, 0);
+        let p = c.probe(&acc);
+        assert!(p.hit);
+        assert_eq!(p.extra_tag_accesses, 0);
+    }
+
+    #[test]
+    fn vector_hit_requires_alignment() {
+        let mut c = cache(SetMapping::DifferentSet);
+        // Fill all 8 row lines of tile 0 — every word present.
+        for r in 0..8 {
+            c.fill(LineKey::new(0, Orientation::Row, r), 0);
+        }
+        // A column vector access still misses (mis-aligned).
+        let p = c.probe(&Access::vector_read(LineKey::new(0, Orientation::Col, 2), 0));
+        assert!(!p.hit, "vector hits require the correctly aligned block");
+    }
+
+    #[test]
+    fn clean_duplicates_may_coexist() {
+        let mut c = cache(SetMapping::DifferentSet);
+        let row = LineKey::new(0, Orientation::Row, 2);
+        let col = LineKey::new(0, Orientation::Col, 6);
+        c.fill(row, 0);
+        let wbs = c.fill(col, 0);
+        assert!(wbs.is_empty(), "clean duplication needs no writeback");
+        assert!(c.contains_line(&row) && c.contains_line(&col));
+        assert_eq!(c.stats().duplications, 1);
+    }
+
+    #[test]
+    fn write_evicts_clean_duplicate() {
+        let mut c = cache(SetMapping::DifferentSet);
+        let row = LineKey::new(0, Orientation::Row, 2);
+        let col = LineKey::new(0, Orientation::Col, 6);
+        c.fill(row, 0);
+        c.fill(col, 0);
+        // Write the shared word through the row copy.
+        let shared = WordAddr::from_tile_coords(0, 2, 6);
+        let p = c.probe(&Access::scalar_write(shared, Orientation::Row, 0));
+        assert!(p.hit);
+        assert!(p.writebacks.is_empty(), "clean duplicate is dropped silently");
+        assert!(!c.contains_line(&col), "duplicate evicted so the write is sole-copy");
+        assert!(c.contains_line(&row));
+        assert_eq!(c.stats().dup_evictions, 1);
+    }
+
+    #[test]
+    fn write_to_dirty_duplicate_forces_writeback() {
+        let mut c = cache(SetMapping::DifferentSet);
+        let row = LineKey::new(0, Orientation::Row, 2);
+        let col = LineKey::new(0, Orientation::Col, 6);
+        c.fill(col, 0);
+        // Dirty the column copy.
+        let shared = WordAddr::from_tile_coords(0, 2, 6);
+        assert!(c.probe(&Access::scalar_write(shared, Orientation::Col, 0)).hit);
+        // Bring in the row line (read duplicate): dirty word propagates back.
+        let wbs = c.fill(row, 0);
+        assert_eq!(wbs.len(), 1);
+        assert_eq!(wbs[0].line, col);
+        assert!(c.contains_line(&col), "read-to-duplicate cleans, not evicts");
+        // Now write through the row copy: the (clean) column copy is evicted.
+        let p = c.probe(&Access::scalar_write(shared, Orientation::Row, 0));
+        assert!(p.hit);
+        assert!(!c.contains_line(&col));
+    }
+
+    #[test]
+    fn fill_with_modified_words_evicts_dirty_intersections() {
+        let mut c = cache(SetMapping::DifferentSet);
+        let col = LineKey::new(0, Orientation::Col, 6);
+        c.fill(col, 0);
+        let shared = WordAddr::from_tile_coords(0, 2, 6);
+        c.probe(&Access::scalar_write(shared, Orientation::Col, 0));
+        // Write-allocate fill of the intersecting row line, word 6 dirty.
+        let wbs = c.fill(LineKey::new(0, Orientation::Row, 2), 1 << 6);
+        assert_eq!(wbs.len(), 1, "dirty duplicate written back");
+        assert_eq!(wbs[0].line, col);
+        assert!(!c.contains_line(&col), "write-to-duplicate evicts");
+    }
+
+    #[test]
+    fn vector_write_hit_evicts_all_intersecting_lines() {
+        let mut c = cache(SetMapping::SameSet);
+        let row = LineKey::new(0, Orientation::Row, 2);
+        c.fill(row, 0);
+        for cidx in [1u8, 4, 7] {
+            c.fill(LineKey::new(0, Orientation::Col, cidx), 0);
+        }
+        let p = c.probe(&Access::vector_write(row, 0));
+        assert!(p.hit);
+        for cidx in [1u8, 4, 7] {
+            assert!(!c.contains_line(&LineKey::new(0, Orientation::Col, cidx)));
+        }
+    }
+
+    #[test]
+    fn different_set_vector_miss_charges_eight_checks() {
+        let mut c = cache(SetMapping::DifferentSet);
+        let p = c.probe(&Access::vector_read(LineKey::new(0, Orientation::Row, 0), 0));
+        assert_eq!(p.extra_tag_accesses, 8);
+        let mut c = cache(SetMapping::SameSet);
+        let p = c.probe(&Access::vector_read(LineKey::new(0, Orientation::Row, 0), 0));
+        assert_eq!(p.extra_tag_accesses, 0);
+    }
+
+    #[test]
+    fn eviction_writes_back_only_dirty_words() {
+        let mut c = cache(SetMapping::DifferentSet);
+        let line = LineKey::new(0, Orientation::Row, 0);
+        c.fill(line, 0);
+        c.probe(&Access::scalar_write(line.word_at(1), Orientation::Row, 0));
+        let wbs = c.flush();
+        assert_eq!(wbs.len(), 1);
+        assert_eq!(wbs[0].dirty, 0b10);
+        assert_eq!(wbs[0].words(), 1, "per-word dirty bits avoid false sharing");
+    }
+
+    #[test]
+    fn misoriented_scalar_write_modifies_other_copy() {
+        let mut c = cache(SetMapping::DifferentSet);
+        let col = LineKey::new(0, Orientation::Col, 6);
+        c.fill(col, 0);
+        let shared = WordAddr::from_tile_coords(0, 2, 6);
+        // Row-preferring write, but only the column copy exists → hit there.
+        let p = c.probe(&Access::scalar_write(shared, Orientation::Row, 0));
+        assert!(p.hit);
+        assert_eq!(c.stats().misoriented_hits, 1);
+        let wbs = c.flush();
+        assert_eq!(wbs.len(), 1);
+        assert_eq!(wbs[0].line, col);
+    }
+
+    #[test]
+    fn occupancy_tracks_both_orientations() {
+        let mut c = cache(SetMapping::DifferentSet);
+        c.fill(LineKey::new(0, Orientation::Row, 0), 0);
+        c.fill(LineKey::new(1, Orientation::Col, 0), 0);
+        c.fill(LineKey::new(2, Orientation::Col, 1), 0);
+        assert_eq!(c.occupancy(), (1, 2, 64));
+        c.flush();
+        assert_eq!(c.occupancy(), (0, 0, 64));
+    }
+}

@@ -1,0 +1,243 @@
+//! The 2P1L taxonomy point: physically 2-D, logically 1-D.
+//!
+//! The paper's taxonomy (Sec. IV-A) names this design but elides its
+//! discussion for brevity. We implement it for completeness, as an
+//! ablation: the cache is built from an on-chip MDA (crosspoint NVM)
+//! array — so it allocates 512-byte 2-D blocks and pays the NVM write
+//! penalty like a 2P2L cache — but it only ever *serves rows*. Comparing
+//! it against 1P1L and 2P2L isolates how much of the MDA benefit comes
+//! from the physical array versus from logically 2-D caching: the answer
+//! the ablation demonstrates is that physical dimensionality alone buys
+//! nothing (it only adds NVM write latency and block-granular conflicts);
+//! the win comes from expressing and serving column preference.
+
+use crate::config::CacheConfig;
+use crate::level::{Access, AccessWidth, CacheLevel, Probe, Writeback};
+use crate::set_array::SetArray;
+use crate::stats::CacheStats;
+use mda_mem::{LineKey, Orientation, TileId, TILE_LINES};
+
+/// Per-block metadata: presence and dirtiness per row line only.
+#[derive(Debug, Clone, Copy, Default)]
+struct TileMeta {
+    row_valid: u8,
+    row_dirty: u8,
+}
+
+/// The physically 2-D, logically 1-D cache.
+#[derive(Debug, Clone)]
+pub struct Cache2P1L {
+    config: CacheConfig,
+    array: SetArray<TileId, TileMeta>,
+    stats: CacheStats,
+}
+
+impl Cache2P1L {
+    /// Builds a 2P1L level from `config`.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid or smaller than one 512-byte
+    /// block per set.
+    pub fn new(config: CacheConfig) -> Cache2P1L {
+        if let Err(msg) = config.validate() {
+            panic!("invalid CacheConfig: {msg}");
+        }
+        assert!(config.tile_sets() > 0, "capacity too small for 512-byte blocks");
+        let array = SetArray::new(config.tile_sets(), config.assoc);
+        Cache2P1L { config, array, stats: CacheStats::default() }
+    }
+
+    fn set_of(&self, tile: TileId) -> usize {
+        (tile % self.array.num_sets() as u64) as usize
+    }
+
+    /// The row line an access maps to (column vectors are impossible on a
+    /// logically 1-D organization).
+    fn target_line(acc: &Access) -> LineKey {
+        match (acc.width, acc.orient) {
+            (AccessWidth::Vector, Orientation::Col) => panic!(
+                "column vector access reached a 2P1L cache; the compiler \
+                 must lower these to scalars for logically 1-D hierarchies"
+            ),
+            (AccessWidth::Vector, Orientation::Row) => acc.preferred_line(),
+            (AccessWidth::Scalar, _) => LineKey::containing(acc.word, Orientation::Row),
+        }
+    }
+
+    fn writebacks_of(tile: TileId, meta: &TileMeta) -> Vec<Writeback> {
+        (0..TILE_LINES as u8)
+            .filter(|idx| meta.row_dirty & (1 << idx) != 0)
+            .map(|idx| Writeback { line: LineKey::new(tile, Orientation::Row, idx), dirty: 0xFF })
+            .collect()
+    }
+}
+
+impl CacheLevel for Cache2P1L {
+    fn probe(&mut self, acc: &Access) -> Probe {
+        let line = Self::target_line(acc);
+        let set = self.set_of(line.tile);
+        let hit = match self.array.get_mut(set, line.tile) {
+            Some(meta) if meta.row_valid & (1 << line.idx) != 0 => {
+                if acc.is_write {
+                    meta.row_dirty |= 1 << line.idx;
+                }
+                true
+            }
+            _ => false,
+        };
+        self.stats.note_access(acc, hit);
+        if hit {
+            Probe::hit()
+        } else {
+            Probe::miss(line)
+        }
+    }
+
+    fn fill(&mut self, line: LineKey, dirty: u8) -> Vec<Writeback> {
+        debug_assert_eq!(line.orient, Orientation::Row, "2P1L stores row lines only");
+        let set = self.set_of(line.tile);
+        if let Some(meta) = self.array.get_mut(set, line.tile) {
+            meta.row_valid |= 1 << line.idx;
+            if dirty != 0 {
+                meta.row_dirty |= 1 << line.idx;
+            }
+            return Vec::new();
+        }
+        self.stats.demand_fills += 1;
+        let meta = TileMeta {
+            row_valid: 1 << line.idx,
+            row_dirty: if dirty != 0 { 1 << line.idx } else { 0 },
+        };
+        match self.array.insert(set, line.tile, meta) {
+            Some((victim, vm)) => {
+                let wbs = Self::writebacks_of(victim, &vm);
+                self.stats.writebacks_out += wbs.len() as u64;
+                wbs
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn absorb_writeback(&mut self, wb: &Writeback) -> Option<Vec<Writeback>> {
+        if wb.line.orient != Orientation::Row {
+            return None;
+        }
+        let set = self.set_of(wb.line.tile);
+        let meta = self.array.get_mut(set, wb.line.tile)?;
+        meta.row_valid |= 1 << wb.line.idx;
+        meta.row_dirty |= 1 << wb.line.idx;
+        Some(Vec::new())
+    }
+
+    fn contains_line(&self, line: &LineKey) -> bool {
+        line.orient == Orientation::Row
+            && self
+                .array
+                .peek(self.set_of(line.tile), line.tile)
+                .is_some_and(|m| m.row_valid & (1 << line.idx) != 0)
+    }
+
+    fn occupancy(&self) -> (usize, usize, usize) {
+        let rows = self.array.iter().map(|(_, m)| m.row_valid.count_ones() as usize).sum();
+        (rows, 0, self.config.line_frames())
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut CacheStats {
+        &mut self.stats
+    }
+
+    fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    fn flush(&mut self) -> Vec<Writeback> {
+        let mut out = Vec::new();
+        for set in 0..self.array.num_sets() {
+            let resident: Vec<TileId> = self.array.iter_set(set).map(|(k, _)| *k).collect();
+            for tile in resident {
+                if let Some(meta) = self.array.remove(set, tile) {
+                    let wbs = Self::writebacks_of(tile, &meta);
+                    self.stats.writebacks_out += wbs.len() as u64;
+                    out.extend(wbs);
+                }
+            }
+        }
+        out
+    }
+
+    fn for_each_line(&self, f: &mut dyn FnMut(LineKey, u8)) {
+        for (tile, meta) in self.array.iter() {
+            for idx in 0..TILE_LINES as u8 {
+                if meta.row_valid & (1 << idx) != 0 {
+                    let dirty = if meta.row_dirty & (1 << idx) != 0 { 0xFF } else { 0 };
+                    f(LineKey::new(*tile, Orientation::Row, idx), dirty);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mda_mem::WordAddr;
+
+    fn cache() -> Cache2P1L {
+        let mut cfg = CacheConfig::l3(16 * 1024);
+        cfg.assoc = 8;
+        Cache2P1L::new(cfg)
+    }
+
+    #[test]
+    fn row_fill_then_hit() {
+        let mut c = cache();
+        let line = LineKey::new(3, Orientation::Row, 2);
+        let p = c.probe(&Access::vector_read(line, 0));
+        assert!(!p.hit);
+        assert_eq!(p.fills, vec![line], "sparse row fill only");
+        c.fill(line, 0);
+        assert!(c.probe(&Access::vector_read(line, 0)).hit);
+    }
+
+    #[test]
+    fn column_scalar_is_served_through_row_lines() {
+        let mut c = cache();
+        let w = WordAddr::from_tile_coords(1, 4, 6);
+        let p = c.probe(&Access::scalar_read(w, Orientation::Col, 0));
+        assert_eq!(p.fills, vec![LineKey::new(1, Orientation::Row, 4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "column vector access")]
+    fn column_vectors_are_rejected() {
+        let mut c = cache();
+        let _ = c.probe(&Access::vector_read(LineKey::new(0, Orientation::Col, 0), 0));
+    }
+
+    #[test]
+    fn eviction_is_block_granular() {
+        let mut c = cache();
+        // Two rows of tile 0 resident, one dirty.
+        c.fill(LineKey::new(0, Orientation::Row, 0), 0xFF);
+        c.fill(LineKey::new(0, Orientation::Row, 5), 0);
+        // Displace tile 0 (set 0 holds tiles ≡ 0 mod 4, 8 ways).
+        let mut wbs = Vec::new();
+        for k in 1..=8u64 {
+            wbs.extend(c.fill(LineKey::new(4 * k, Orientation::Row, 0), 0));
+        }
+        assert_eq!(wbs.len(), 1, "only the dirty row written back");
+        assert!(!c.contains_line(&LineKey::new(0, Orientation::Row, 5)));
+    }
+
+    #[test]
+    fn occupancy_counts_rows_only() {
+        let mut c = cache();
+        c.fill(LineKey::new(0, Orientation::Row, 0), 0);
+        c.fill(LineKey::new(0, Orientation::Row, 1), 0);
+        assert_eq!(c.occupancy(), (2, 0, 256));
+    }
+}

@@ -1,0 +1,445 @@
+//! Design 2's LLC: the physically and logically 2-D cache (paper Sec. IV-C).
+//!
+//! Built from an on-chip MDA (STT crosspoint) array, the 2P2L cache
+//! allocates **512-byte 2-D blocks** (8 rows × 8 columns × 8 B). Because a
+//! block physically holds the whole tile, there is no data duplication and
+//! no orientation metadata; instead each block carries a presence bit per
+//! row line and per column line (16 bits per 512 B — the same overhead as
+//! the valid + orientation bits of a 1P2L cache, paper Sec. IV-B-b).
+//!
+//! Two fill policies are modelled:
+//!
+//! * **sparse** (the paper's evaluated variant): only the demanded line is
+//!   transferred into the allocated block; writebacks elide never-filled
+//!   lines. Mis-oriented accesses may be served when the covering lines of
+//!   the other orientation happen to be present ("partial hits").
+//! * **dense** (ablation): the demand miss pulls all eight lines of the
+//!   demand orientation, paying the paper's "large unit transfer cost".
+
+use crate::config::CacheConfig;
+use crate::level::{Access, AccessWidth, CacheLevel, Probe, Writeback};
+use crate::set_array::SetArray;
+use crate::stats::CacheStats;
+use mda_mem::{LineKey, Orientation, TileId, TILE_LINES};
+
+/// Per-block metadata: presence and dirtiness per row/column line.
+#[derive(Debug, Clone, Copy, Default)]
+struct TileMeta {
+    row_valid: u8,
+    col_valid: u8,
+    row_dirty: u8,
+    col_dirty: u8,
+}
+
+impl TileMeta {
+    fn valid(&self, orient: Orientation, idx: u8) -> bool {
+        match orient {
+            Orientation::Row => self.row_valid & (1 << idx) != 0,
+            Orientation::Col => self.col_valid & (1 << idx) != 0,
+        }
+    }
+
+    fn set_valid(&mut self, orient: Orientation, idx: u8) {
+        match orient {
+            Orientation::Row => self.row_valid |= 1 << idx,
+            Orientation::Col => self.col_valid |= 1 << idx,
+        }
+    }
+
+    fn set_dirty(&mut self, orient: Orientation, idx: u8) {
+        match orient {
+            Orientation::Row => self.row_dirty |= 1 << idx,
+            Orientation::Col => self.col_dirty |= 1 << idx,
+        }
+    }
+
+    /// Whether the word at tile coordinates `(r, c)` is covered by any
+    /// present line.
+    fn word_present(&self, r: u8, c: u8) -> bool {
+        self.row_valid & (1 << r) != 0 || self.col_valid & (1 << c) != 0
+    }
+
+}
+
+/// The physically 2-D cache.
+#[derive(Debug, Clone)]
+pub struct Cache2P2L {
+    config: CacheConfig,
+    array: SetArray<TileId, TileMeta>,
+    sparse: bool,
+    stats: CacheStats,
+}
+
+impl Cache2P2L {
+    /// Builds a sparse-fill 2P2L level (the paper's evaluated variant).
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid or smaller than one block per
+    /// set.
+    pub fn new(config: CacheConfig) -> Cache2P2L {
+        Cache2P2L::with_fill_policy(config, true)
+    }
+
+    /// Builds a 2P2L level with an explicit fill policy (`sparse = false`
+    /// gives the dense ablation variant).
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid or smaller than one block per
+    /// set.
+    pub fn with_fill_policy(config: CacheConfig, sparse: bool) -> Cache2P2L {
+        if let Err(msg) = config.validate() {
+            panic!("invalid CacheConfig: {msg}");
+        }
+        assert!(config.tile_sets() > 0, "capacity too small for 512-byte blocks");
+        let array = SetArray::new(config.tile_sets(), config.assoc);
+        Cache2P2L { config, array, sparse, stats: CacheStats::default() }
+    }
+
+    /// Whether the sparse fill policy is active.
+    pub fn is_sparse(&self) -> bool {
+        self.sparse
+    }
+
+    fn set_of(&self, tile: TileId) -> usize {
+        (tile % self.array.num_sets() as u64) as usize
+    }
+
+    /// Fill lines demanded on a miss of `line`: just the demand line when
+    /// sparse; the demand line followed by the rest of its orientation when
+    /// dense.
+    fn fill_lines(&self, line: LineKey, meta: Option<&TileMeta>) -> Vec<LineKey> {
+        if self.sparse {
+            return vec![line];
+        }
+        let mut fills = vec![line];
+        for idx in 0..TILE_LINES as u8 {
+            if idx == line.idx {
+                continue;
+            }
+            let already = meta.map(|m| m.valid(line.orient, idx)).unwrap_or(false);
+            if !already {
+                fills.push(LineKey::new(line.tile, line.orient, idx));
+            }
+        }
+        fills
+    }
+
+    fn writebacks_of(tile: TileId, meta: &TileMeta) -> Vec<Writeback> {
+        let mut out = Vec::new();
+        for idx in 0..TILE_LINES as u8 {
+            if meta.row_dirty & (1 << idx) != 0 {
+                out.push(Writeback { line: LineKey::new(tile, Orientation::Row, idx), dirty: 0xFF });
+            }
+            if meta.col_dirty & (1 << idx) != 0 {
+                out.push(Writeback { line: LineKey::new(tile, Orientation::Col, idx), dirty: 0xFF });
+            }
+        }
+        out
+    }
+
+    /// Marks the written words dirty through whichever resident lines cover
+    /// them.
+    fn mark_dirty(meta: &mut TileMeta, acc: &Access) {
+        for w in acc.words() {
+            let (r, c) = (w.row_in_tile(), w.col_in_tile());
+            // Prefer dirtying along the access orientation when that line is
+            // resident; otherwise dirty the covering line.
+            let via = if meta.valid(acc.orient, match acc.orient {
+                Orientation::Row => r,
+                Orientation::Col => c,
+            }) {
+                acc.orient
+            } else if meta.row_valid & (1 << r) != 0 {
+                Orientation::Row
+            } else {
+                debug_assert!(meta.col_valid & (1 << c) != 0, "write to absent word");
+                Orientation::Col
+            };
+            match via {
+                Orientation::Row => meta.set_dirty(Orientation::Row, r),
+                Orientation::Col => meta.set_dirty(Orientation::Col, c),
+            }
+        }
+    }
+}
+
+impl CacheLevel for Cache2P2L {
+    fn probe(&mut self, acc: &Access) -> Probe {
+        let set = self.set_of(acc.word.tile());
+        let preferred = acc.preferred_line();
+
+        let (hit, covered) = match self.array.get_mut(set, acc.word.tile()) {
+            None => (false, false),
+            Some(meta) => match acc.width {
+                AccessWidth::Scalar => {
+                    let present = meta.word_present(acc.word.row_in_tile(), acc.word.col_in_tile());
+                    let aligned = meta.valid(preferred.orient, preferred.idx);
+                    (present, present && !aligned)
+                }
+                AccessWidth::Vector => {
+                    if meta.valid(preferred.orient, preferred.idx) {
+                        (true, false)
+                    } else {
+                        // Partial hit: every word covered by intersecting
+                        // lines of the other orientation.
+                        let covered = match preferred.orient {
+                            Orientation::Row => meta.col_valid == 0xFF,
+                            Orientation::Col => meta.row_valid == 0xFF,
+                        };
+                        (covered, covered)
+                    }
+                }
+            },
+        };
+
+        self.stats.note_access(acc, hit);
+        if covered {
+            self.stats.misoriented_hits += 1;
+        }
+        if hit {
+            if acc.is_write {
+                let meta = self
+                    .array
+                    .get_mut(set, acc.word.tile())
+                    .expect("hit implies resident block");
+                Self::mark_dirty(meta, acc);
+            }
+            Probe::hit()
+        } else {
+            let meta = self.array.peek(set, acc.word.tile());
+            Probe {
+                hit: false,
+                extra_tag_accesses: 0,
+                fills: self.fill_lines(preferred, meta),
+                writebacks: Vec::new(),
+            }
+        }
+    }
+
+    fn fill(&mut self, line: LineKey, dirty: u8) -> Vec<Writeback> {
+        let set = self.set_of(line.tile);
+        if let Some(meta) = self.array.get_mut(set, line.tile) {
+            meta.set_valid(line.orient, line.idx);
+            if dirty != 0 {
+                meta.set_dirty(line.orient, line.idx);
+            }
+            return Vec::new();
+        }
+        self.stats.demand_fills += 1;
+        let mut meta = TileMeta::default();
+        meta.set_valid(line.orient, line.idx);
+        if dirty != 0 {
+            meta.set_dirty(line.orient, line.idx);
+        }
+        match self.array.insert(set, line.tile, meta) {
+            Some((victim, vm)) => {
+                let wbs = Self::writebacks_of(victim, &vm);
+                self.stats.writebacks_out += wbs.len() as u64;
+                wbs
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn absorb_writeback(&mut self, wb: &Writeback) -> Option<Vec<Writeback>> {
+        let set = self.set_of(wb.line.tile);
+        let meta = self.array.get_mut(set, wb.line.tile)?;
+        meta.set_valid(wb.line.orient, wb.line.idx);
+        meta.set_dirty(wb.line.orient, wb.line.idx);
+        Some(Vec::new())
+    }
+
+    fn contains_line(&self, line: &LineKey) -> bool {
+        self.array
+            .peek(self.set_of(line.tile), line.tile)
+            .is_some_and(|m| m.valid(line.orient, line.idx))
+    }
+
+    fn occupancy(&self) -> (usize, usize, usize) {
+        let mut rows = 0;
+        let mut cols = 0;
+        for (_, meta) in self.array.iter() {
+            rows += meta.row_valid.count_ones() as usize;
+            cols += meta.col_valid.count_ones() as usize;
+        }
+        (rows, cols, self.config.line_frames())
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut CacheStats {
+        &mut self.stats
+    }
+
+    fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    fn flush(&mut self) -> Vec<Writeback> {
+        let mut out = Vec::new();
+        for set in 0..self.array.num_sets() {
+            let resident: Vec<TileId> = self.array.iter_set(set).map(|(k, _)| *k).collect();
+            for tile in resident {
+                if let Some(meta) = self.array.remove(set, tile) {
+                    let wbs = Self::writebacks_of(tile, &meta);
+                    self.stats.writebacks_out += wbs.len() as u64;
+                    out.extend(wbs);
+                }
+            }
+        }
+        out
+    }
+
+    fn for_each_line(&self, f: &mut dyn FnMut(LineKey, u8)) {
+        for (tile, meta) in self.array.iter() {
+            for idx in 0..TILE_LINES as u8 {
+                if meta.row_valid & (1 << idx) != 0 {
+                    let dirty = if meta.row_dirty & (1 << idx) != 0 { 0xFF } else { 0 };
+                    f(LineKey::new(*tile, Orientation::Row, idx), dirty);
+                }
+                if meta.col_valid & (1 << idx) != 0 {
+                    let dirty = if meta.col_dirty & (1 << idx) != 0 { 0xFF } else { 0 };
+                    f(LineKey::new(*tile, Orientation::Col, idx), dirty);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mda_mem::WordAddr;
+
+    fn cache() -> Cache2P2L {
+        // 16 KiB, 8-way → 4 tile sets of 8 blocks.
+        let mut cfg = CacheConfig::l3(16 * 1024);
+        cfg.assoc = 8;
+        Cache2P2L::new(cfg)
+    }
+
+    #[test]
+    fn sparse_miss_fetches_only_demand_line() {
+        let mut c = cache();
+        let line = LineKey::new(3, Orientation::Col, 2);
+        let p = c.probe(&Access::vector_read(line, 0));
+        assert!(!p.hit);
+        assert_eq!(p.fills, vec![line]);
+        c.fill(line, 0);
+        assert!(c.probe(&Access::vector_read(line, 0)).hit);
+        assert_eq!(c.occupancy(), (0, 1, 256));
+    }
+
+    #[test]
+    fn dense_miss_fetches_whole_block_orientation() {
+        let mut cfg = CacheConfig::l3(16 * 1024);
+        cfg.assoc = 8;
+        let mut c = Cache2P2L::with_fill_policy(cfg, false);
+        let line = LineKey::new(3, Orientation::Row, 2);
+        let p = c.probe(&Access::vector_read(line, 0));
+        assert_eq!(p.fills.len(), 8);
+        assert_eq!(p.fills[0], line, "demand line first (critical line first)");
+    }
+
+    #[test]
+    fn no_duplication_inside_a_block() {
+        let mut c = cache();
+        c.fill(LineKey::new(0, Orientation::Row, 2), 0);
+        c.fill(LineKey::new(0, Orientation::Col, 6), 0);
+        // The shared word is covered by both; writing it through the row
+        // does not need any duplicate eviction (same physical storage).
+        let shared = WordAddr::from_tile_coords(0, 2, 6);
+        let p = c.probe(&Access::scalar_write(shared, Orientation::Row, 0));
+        assert!(p.hit);
+        assert!(p.writebacks.is_empty());
+        assert!(c.contains_line(&LineKey::new(0, Orientation::Col, 6)));
+    }
+
+    #[test]
+    fn scalar_hit_via_other_orientation_is_a_partial_hit() {
+        let mut c = cache();
+        c.fill(LineKey::new(0, Orientation::Row, 2), 0);
+        let word = WordAddr::from_tile_coords(0, 2, 5);
+        let p = c.probe(&Access::scalar_read(word, Orientation::Col, 0));
+        assert!(p.hit);
+        assert_eq!(c.stats().misoriented_hits, 1);
+    }
+
+    #[test]
+    fn vector_partial_hit_requires_full_coverage() {
+        let mut c = cache();
+        for r in 0..7 {
+            c.fill(LineKey::new(0, Orientation::Row, r), 0);
+        }
+        let col = LineKey::new(0, Orientation::Col, 3);
+        assert!(!c.probe(&Access::vector_read(col, 0)).hit, "7/8 rows: not covered");
+        c.fill(LineKey::new(0, Orientation::Row, 7), 0);
+        let p = c.probe(&Access::vector_read(col, 0));
+        assert!(p.hit, "8/8 rows cover any column vector");
+        assert_eq!(c.stats().misoriented_hits, 1);
+    }
+
+    #[test]
+    fn eviction_is_block_granular_and_elides_clean_lines() {
+        let mut cfg = CacheConfig::l3(16 * 1024);
+        cfg.assoc = 8;
+        let mut c = Cache2P2L::new(cfg);
+        // Tile 0: one dirty row, one clean col.
+        c.fill(LineKey::new(0, Orientation::Row, 1), 0xFF);
+        c.fill(LineKey::new(0, Orientation::Col, 4), 0);
+        // Evict tile 0 by filling 8 more tiles into set 0 (tiles ≡ 0 mod 4).
+        let mut wbs = Vec::new();
+        for k in 1..=8u64 {
+            wbs.extend(c.fill(LineKey::new(4 * k, Orientation::Row, 0), 0));
+        }
+        assert_eq!(wbs.len(), 1, "only the dirty row line is written back");
+        assert_eq!(wbs[0].line, LineKey::new(0, Orientation::Row, 1));
+        assert!(!c.contains_line(&LineKey::new(0, Orientation::Col, 4)), "whole block evicted");
+    }
+
+    #[test]
+    fn absorb_writeback_sparsely_updates_resident_block() {
+        let mut c = cache();
+        let line = LineKey::new(5, Orientation::Col, 1);
+        c.fill(line, 0);
+        let other = LineKey::new(5, Orientation::Row, 3);
+        assert!(c.absorb_writeback(&Writeback { line: other, dirty: 0xFF }).is_some());
+        assert!(c.contains_line(&other));
+        // An absent block cannot absorb — the caller allocates sparsely.
+        let faraway = LineKey::new(77, Orientation::Row, 0);
+        assert!(c.absorb_writeback(&Writeback { line: faraway, dirty: 0xFF }).is_none());
+    }
+
+    #[test]
+    fn write_via_covering_line_marks_it_dirty() {
+        let mut c = cache();
+        c.fill(LineKey::new(0, Orientation::Row, 2), 0);
+        // Column-preferring write to a word only covered by row 2.
+        let w = WordAddr::from_tile_coords(0, 2, 5);
+        assert!(c.probe(&Access::scalar_write(w, Orientation::Col, 0)).hit);
+        let wbs = c.flush();
+        assert_eq!(wbs.len(), 1);
+        assert_eq!(wbs[0].line, LineKey::new(0, Orientation::Row, 2));
+    }
+
+    #[test]
+    fn flush_empties_cache() {
+        let mut c = cache();
+        c.fill(LineKey::new(1, Orientation::Row, 0), 0xFF);
+        c.fill(LineKey::new(2, Orientation::Col, 3), 0);
+        let wbs = c.flush();
+        assert_eq!(wbs.len(), 1);
+        assert_eq!(c.occupancy().0 + c.occupancy().1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity too small")]
+    fn tiny_capacity_rejected() {
+        let mut cfg = CacheConfig::l3(1024);
+        cfg.assoc = 4;
+        // 1 KiB / 512 B = 2 blocks < 4-way: zero sets.
+        let _ = Cache2P2L::new(cfg);
+    }
+}

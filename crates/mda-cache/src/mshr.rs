@@ -1,0 +1,219 @@
+//! 2-D-aware miss-status-holding registers (paper Sec. IV-B-b).
+//!
+//! Besides the usual duties — coalescing secondary misses to an outstanding
+//! line and bounding miss-level parallelism — the MDA MSHRs enforce ordering
+//! between *overlapping* transactions even when their access directions
+//! differ: a request that shares a word with an outstanding request of the
+//! other orientation (same tile) must not be reordered ahead of it when one
+//! of the two writes.
+//!
+//! In the latency-forwarding simulator an entry is simply the completion
+//! cycle of the outstanding fill; entries expire lazily as time advances.
+
+use mda_mem::{Cycle, LineKey};
+
+/// One outstanding miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    line: LineKey,
+    completes: Cycle,
+    is_write: bool,
+}
+
+/// A bounded table of outstanding misses for one cache level.
+#[derive(Debug, Clone)]
+pub struct Mshr {
+    entries: Vec<Entry>,
+    capacity: usize,
+}
+
+/// What the MSHR decided about a new miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrDecision {
+    /// A fresh entry was allocated; the miss proceeds to the level below.
+    Allocated {
+        /// Earliest cycle the request may be issued below, after ordering
+        /// constraints against overlapping outstanding transactions.
+        issue_at: Cycle,
+        /// Cycle the core had to wait until for a free register (equals the
+        /// request time when no stall occurred).
+        ready_at: Cycle,
+    },
+    /// The miss was coalesced into an outstanding entry for the same line;
+    /// it completes when that entry does, with no new request below.
+    Coalesced {
+        /// Completion of the primary miss.
+        completes: Cycle,
+    },
+}
+
+impl Mshr {
+    /// Creates an MSHR file with `capacity` registers.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Mshr {
+        assert!(capacity > 0, "MSHR capacity must be non-zero");
+        Mshr { entries: Vec::with_capacity(capacity), capacity }
+    }
+
+    /// Registers currently outstanding.
+    pub fn outstanding(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Drops entries that completed at or before `now`.
+    pub fn expire(&mut self, now: Cycle) {
+        self.entries.retain(|e| e.completes > now);
+    }
+
+    /// Handles a miss on `line` at `now`.
+    ///
+    /// Returns either a coalescing decision or an allocation carrying the
+    /// stall (`ready_at`) and ordering (`issue_at`) constraints. The caller
+    /// must later call [`Mshr::complete`] with the fill's completion cycle.
+    pub fn on_miss(&mut self, line: LineKey, is_write: bool, now: Cycle) -> MshrDecision {
+        self.expire(now);
+
+        // Secondary miss to the same line: coalesce (2-D miss coalescing —
+        // "many misses to the same column are combined into one column
+        // access in the MSHR", paper Sec. VII).
+        if let Some(e) = self.entries.iter().find(|e| e.line == line) {
+            return MshrDecision::Coalesced { completes: e.completes };
+        }
+
+        // Full file: the request waits for the earliest completion.
+        let mut ready_at = now;
+        if self.entries.len() >= self.capacity {
+            let earliest = self
+                .entries
+                .iter()
+                .map(|e| e.completes)
+                .min()
+                .expect("full MSHR file is non-empty");
+            ready_at = earliest;
+            self.entries.retain(|e| e.completes > earliest);
+        }
+
+        // Ordering against overlapping outstanding transactions when either
+        // side writes: issue only after they complete.
+        let issue_at = self
+            .entries
+            .iter()
+            .filter(|e| e.line.overlaps(&line) && (e.is_write || is_write))
+            .map(|e| e.completes)
+            .max()
+            .unwrap_or(0)
+            .max(ready_at);
+
+        MshrDecision::Allocated { issue_at, ready_at }
+    }
+
+    /// Completion cycle of an outstanding fill of `line`, if any. Used by
+    /// the hierarchy to delay "hits" on lines whose fill is still in
+    /// flight (the state update is instantaneous in a latency-forwarding
+    /// model, but the data is not).
+    pub fn pending_completion(&mut self, line: &LineKey, now: Cycle) -> Option<Cycle> {
+        self.expire(now);
+        self.entries.iter().find(|e| e.line == *line).map(|e| e.completes)
+    }
+
+    /// Records the completion cycle of a previously allocated miss.
+    pub fn complete(&mut self, line: LineKey, is_write: bool, completes: Cycle) {
+        if self.entries.len() >= self.capacity {
+            // Defensive: make room by dropping the earliest completion. The
+            // on_miss path already freed space, so this only triggers when a
+            // caller allocates without consulting on_miss.
+            let earliest = self
+                .entries
+                .iter()
+                .map(|e| e.completes)
+                .min()
+                .expect("full MSHR file is non-empty");
+            self.entries.retain(|e| e.completes > earliest);
+        }
+        self.entries.push(Entry { line, completes, is_write });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mda_mem::Orientation;
+
+    fn line(tile: u64, o: Orientation, idx: u8) -> LineKey {
+        LineKey::new(tile, o, idx)
+    }
+
+    #[test]
+    fn secondary_miss_coalesces() {
+        let mut m = Mshr::new(4);
+        let l = line(1, Orientation::Col, 2);
+        match m.on_miss(l, false, 10) {
+            MshrDecision::Allocated { issue_at, ready_at } => {
+                assert_eq!((issue_at, ready_at), (10, 10));
+            }
+            other => panic!("expected allocation, got {other:?}"),
+        }
+        m.complete(l, false, 500);
+        match m.on_miss(l, false, 20) {
+            MshrDecision::Coalesced { completes } => assert_eq!(completes, 500),
+            other => panic!("expected coalescing, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn entries_expire_with_time() {
+        let mut m = Mshr::new(4);
+        let l = line(1, Orientation::Col, 2);
+        m.complete(l, false, 500);
+        match m.on_miss(l, false, 600) {
+            MshrDecision::Allocated { .. } => {}
+            other => panic!("expired entry must not coalesce: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_file_stalls_until_earliest_completion() {
+        let mut m = Mshr::new(2);
+        m.complete(line(1, Orientation::Row, 0), false, 100);
+        m.complete(line(2, Orientation::Row, 0), false, 200);
+        match m.on_miss(line(3, Orientation::Row, 0), false, 10) {
+            MshrDecision::Allocated { ready_at, .. } => assert_eq!(ready_at, 100),
+            other => panic!("expected stalled allocation, got {other:?}"),
+        }
+        assert_eq!(m.outstanding(), 1, "the completed entry was retired");
+    }
+
+    #[test]
+    fn overlapping_write_is_ordered_after_outstanding_read() {
+        let mut m = Mshr::new(8);
+        // Outstanding column read of tile 7.
+        m.complete(line(7, Orientation::Col, 3), false, 400);
+        // A row write to the same tile overlaps (they intersect in a word).
+        match m.on_miss(line(7, Orientation::Row, 1), true, 10) {
+            MshrDecision::Allocated { issue_at, .. } => assert_eq!(issue_at, 400),
+            other => panic!("expected ordered allocation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overlapping_reads_need_no_ordering() {
+        let mut m = Mshr::new(8);
+        m.complete(line(7, Orientation::Col, 3), false, 400);
+        match m.on_miss(line(7, Orientation::Row, 1), false, 10) {
+            MshrDecision::Allocated { issue_at, .. } => assert_eq!(issue_at, 10),
+            other => panic!("expected unordered allocation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_overlapping_tiles_are_independent() {
+        let mut m = Mshr::new(8);
+        m.complete(line(7, Orientation::Col, 3), true, 400);
+        match m.on_miss(line(8, Orientation::Row, 3), true, 10) {
+            MshrDecision::Allocated { issue_at, .. } => assert_eq!(issue_at, 10),
+            other => panic!("expected independent allocation, got {other:?}"),
+        }
+    }
+}

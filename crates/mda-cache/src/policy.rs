@@ -1,0 +1,131 @@
+//! The duplicate-word coherence policy of paper Fig. 9, as a pure state
+//! machine.
+//!
+//! In a 1P2L cache a word can be co-present in an intersecting row line and
+//! column line. The policy keeps all copies coherent by allowing
+//! duplication **only while every copy is clean**:
+//!
+//! * a write to a word evicts every *other* copy (writing a dirty one back
+//!   first), so modification happens only to a sole copy;
+//! * before a fill brings in a new copy of a word whose existing copy is
+//!   dirty, that modification is propagated back (writeback, copy becomes
+//!   clean).
+//!
+//! [`Cache1P2L`](crate::Cache1P2L) drives this machine per affected line;
+//! the standalone formulation here makes the invariants property-testable.
+
+/// Validity/dirtiness of one cached copy of a word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WordState {
+    /// Not present.
+    Invalid,
+    /// Present, matches memory (valid = 1, dirty = 0).
+    Clean,
+    /// Present, modified (valid = 1, dirty = 1).
+    Modified,
+}
+
+/// Events observed by a cached copy of a word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DupEvent {
+    /// A read served by *this* copy.
+    Read,
+    /// A write served by *this* copy.
+    Write,
+    /// A read is about to create/use *another* copy of this word.
+    ReadToDuplicate,
+    /// A write is about to modify *another* copy of this word.
+    WriteToDuplicate,
+    /// This copy's line is being evicted.
+    Eviction,
+}
+
+/// Side effects the cache must perform for a transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DupAction {
+    /// No side effect.
+    None,
+    /// Propagate the modified data to the level below.
+    Writeback,
+    /// Invalidate this copy's line.
+    Evict,
+    /// Propagate then invalidate.
+    WritebackAndEvict,
+}
+
+/// The Fig. 9 transition function: `(state, event) → (state', action)`.
+pub fn transition(state: WordState, event: DupEvent) -> (WordState, DupAction) {
+    use DupAction::*;
+    use DupEvent::*;
+    use WordState::*;
+    match (state, event) {
+        (Invalid, Read) => (Clean, None),
+        (Invalid, Write) => (Modified, None),
+        (Invalid, _) => (Invalid, None),
+
+        (Clean, Read) | (Clean, ReadToDuplicate) => (Clean, None),
+        (Clean, Write) => (Modified, None),
+        // A write to another copy: this clean copy is evicted so the write
+        // happens to a sole copy.
+        (Clean, WriteToDuplicate) => (Invalid, Evict),
+        (Clean, Eviction) => (Invalid, None),
+
+        (Modified, Read) | (Modified, Write) => (Modified, None),
+        // A read bringing in another copy: propagate our modification first
+        // so the duplicate is filled with up-to-date data.
+        (Modified, ReadToDuplicate) => (Clean, Writeback),
+        // A write to another copy: propagate then evict.
+        (Modified, WriteToDuplicate) => (Invalid, WritebackAndEvict),
+        (Modified, Eviction) => (Invalid, Writeback),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::DupAction::*;
+    use super::DupEvent::*;
+    use super::WordState::*;
+    use super::*;
+
+    #[test]
+    fn writes_only_ever_touch_sole_copies() {
+        // Any co-present copy receiving WriteToDuplicate ends Invalid.
+        for s in [Clean, Modified] {
+            let (next, _) = transition(s, WriteToDuplicate);
+            assert_eq!(next, Invalid);
+        }
+    }
+
+    #[test]
+    fn dirty_data_is_never_dropped() {
+        // Every transition out of Modified that loses the copy writes back.
+        for e in [WriteToDuplicate, Eviction] {
+            let (_, action) = transition(Modified, e);
+            assert!(matches!(action, Writeback | WritebackAndEvict));
+        }
+    }
+
+    #[test]
+    fn duplication_allowed_only_while_clean() {
+        // A read duplicating a clean word needs no action.
+        assert_eq!(transition(Clean, ReadToDuplicate), (Clean, None));
+        // A read duplicating a modified word forces propagation first.
+        assert_eq!(transition(Modified, ReadToDuplicate), (Clean, Writeback));
+    }
+
+    #[test]
+    fn fig9_core_transitions() {
+        assert_eq!(transition(Invalid, Read), (Clean, None));
+        assert_eq!(transition(Invalid, Write), (Modified, None));
+        assert_eq!(transition(Clean, Write), (Modified, None));
+        assert_eq!(transition(Clean, Eviction), (Invalid, None));
+        assert_eq!(transition(Modified, Eviction), (Invalid, Writeback));
+    }
+
+    #[test]
+    fn invalid_copies_ignore_duplicate_events() {
+        assert_eq!(transition(Invalid, ReadToDuplicate), (Invalid, None));
+        assert_eq!(transition(Invalid, WriteToDuplicate), (Invalid, None));
+        assert_eq!(transition(Invalid, Eviction), (Invalid, None));
+    }
+}

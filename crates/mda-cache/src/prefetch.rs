@@ -1,0 +1,153 @@
+//! Per-stream stride prefetcher for the 1P1L baseline.
+//!
+//! The paper evaluates its baseline *with* data prefetching enabled and the
+//! MDA designs without (Sec. VII, first paragraph). This is a classic
+//! PC-indexed stride prefetcher: each static memory instruction (stream id)
+//! trains a stride in line-address space; once confident, it emits
+//! `degree` prefetch candidates ahead of the demand address. A column walk
+//! over a row-major array trains a stride equal to the array pitch, so the
+//! prefetcher does hide column-access latency — but each prefetch still
+//! moves a full 64-byte row line of which one word is useful, which is
+//! exactly the bandwidth wastage MDA caching removes (paper Sec. IX-A).
+
+use std::collections::HashMap;
+
+/// Training state for one static instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct StreamEntry {
+    last_line: i64,
+    stride: i64,
+    confidence: u8,
+}
+
+/// A PC-indexed stride prefetcher operating on 64-byte line addresses.
+#[derive(Debug, Clone)]
+pub struct StridePrefetcher {
+    table: HashMap<u32, StreamEntry>,
+    degree: usize,
+    confidence_threshold: u8,
+}
+
+impl StridePrefetcher {
+    /// Creates a prefetcher issuing `degree` lines ahead once a stream's
+    /// stride has repeated twice.
+    ///
+    /// # Panics
+    /// Panics if `degree` is zero (use no prefetcher instead).
+    pub fn new(degree: usize) -> StridePrefetcher {
+        assert!(degree > 0, "prefetch degree must be non-zero");
+        StridePrefetcher { table: HashMap::new(), degree, confidence_threshold: 1 }
+    }
+
+    /// Prefetch degree.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Observes a demand access by `stream` to the 64-byte-aligned
+    /// `line_addr`, returning the line addresses to prefetch (empty until
+    /// the stride is confident).
+    pub fn observe(&mut self, stream: u32, line_addr: u64) -> Vec<u64> {
+        let line = (line_addr / mda_mem::LINE_BYTES) as i64;
+        let entry = self.table.entry(stream).or_insert(StreamEntry {
+            last_line: line,
+            stride: 0,
+            confidence: 0,
+        });
+
+        let observed = line - entry.last_line;
+        if observed == 0 {
+            // Same line again: nothing to learn, nothing to fetch.
+            return Vec::new();
+        }
+        if observed == entry.stride {
+            entry.confidence = (entry.confidence + 1).min(3);
+        } else {
+            entry.stride = observed;
+            entry.confidence = 0;
+        }
+        entry.last_line = line;
+
+        if entry.confidence < self.confidence_threshold {
+            return Vec::new();
+        }
+        let stride = entry.stride;
+        (1..=self.degree as i64)
+            .filter_map(|k| {
+                let target = line + k * stride;
+                (target >= 0).then(|| target as u64 * mda_mem::LINE_BYTES)
+            })
+            .collect()
+    }
+
+    /// Clears all training state.
+    pub fn reset(&mut self) {
+        self.table.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mda_mem::LINE_BYTES;
+
+    #[test]
+    fn unit_stride_stream_trains_and_prefetches() {
+        let mut p = StridePrefetcher::new(2);
+        assert!(p.observe(1, 0).is_empty());
+        assert!(p.observe(1, LINE_BYTES).is_empty(), "first repeat: confidence 1");
+        let pf = p.observe(1, 2 * LINE_BYTES);
+        assert_eq!(pf, vec![3 * LINE_BYTES, 4 * LINE_BYTES]);
+    }
+
+    #[test]
+    fn column_walk_trains_pitch_stride() {
+        // A column walk over a 2 KiB-pitch array: stride = 32 lines.
+        let pitch = 32 * LINE_BYTES;
+        let mut p = StridePrefetcher::new(1);
+        p.observe(9, 0);
+        p.observe(9, pitch);
+        let pf = p.observe(9, 2 * pitch);
+        assert_eq!(pf, vec![3 * pitch]);
+    }
+
+    #[test]
+    fn stride_change_resets_confidence() {
+        let mut p = StridePrefetcher::new(1);
+        p.observe(1, 0);
+        p.observe(1, LINE_BYTES);
+        p.observe(1, 2 * LINE_BYTES); // confident now
+        assert!(p.observe(1, 10 * LINE_BYTES).is_empty(), "stride broke");
+        assert!(p.observe(1, 11 * LINE_BYTES).is_empty(), "rebuilding confidence");
+        assert!(!p.observe(1, 12 * LINE_BYTES).is_empty());
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let mut p = StridePrefetcher::new(1);
+        for i in 0..3 {
+            p.observe(1, i * LINE_BYTES);
+        }
+        // Stream 2 is untrained even though stream 1 is confident.
+        assert!(p.observe(2, 0).is_empty());
+    }
+
+    #[test]
+    fn repeated_same_line_accesses_emit_nothing() {
+        let mut p = StridePrefetcher::new(4);
+        for _ in 0..10 {
+            assert!(p.observe(3, 64).is_empty());
+        }
+    }
+
+    #[test]
+    fn negative_stride_prefetches_clamp_at_zero() {
+        let mut p = StridePrefetcher::new(4);
+        p.observe(1, 10 * LINE_BYTES);
+        p.observe(1, 8 * LINE_BYTES);
+        p.observe(1, 6 * LINE_BYTES);
+        let pf = p.observe(1, 4 * LINE_BYTES);
+        // Stride −2 lines: candidates 2, 0, −2, −4 → clamped to in-range.
+        assert_eq!(pf, vec![2 * LINE_BYTES, 0]);
+    }
+}

@@ -1,0 +1,192 @@
+//! Generic set-associative storage with true-LRU replacement.
+//!
+//! All three cache organizations share this container: `1P1L`/`1P2L` use it
+//! with [`mda_mem::LineKey`] keys and per-line metadata, `2P2L` with tile
+//! ids and per-tile presence/dirty bitmaps.
+
+/// A set-associative array mapping keys of type `K` to metadata `M`.
+#[derive(Debug, Clone)]
+pub struct SetArray<K, M> {
+    ways: Vec<Option<Entry<K, M>>>,
+    num_sets: usize,
+    assoc: usize,
+    clock: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<K, M> {
+    key: K,
+    meta: M,
+    last_use: u64,
+}
+
+impl<K: Copy + Eq, M> SetArray<K, M> {
+    /// Creates an empty array of `num_sets` sets × `assoc` ways.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(num_sets: usize, assoc: usize) -> SetArray<K, M> {
+        assert!(num_sets > 0 && assoc > 0, "sets and ways must be non-zero");
+        let mut ways = Vec::new();
+        ways.resize_with(num_sets * assoc, || None);
+        SetArray { ways, num_sets, assoc, clock: 0 }
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Associativity.
+    pub fn assoc(&self) -> usize {
+        self.assoc
+    }
+
+    fn set_range(&self, set: usize) -> std::ops::Range<usize> {
+        debug_assert!(set < self.num_sets, "set index out of range");
+        set * self.assoc..(set + 1) * self.assoc
+    }
+
+    /// Looks up `key` in `set`, updating recency on hit.
+    pub fn get_mut(&mut self, set: usize, key: K) -> Option<&mut M> {
+        self.clock += 1;
+        let clock = self.clock;
+        let range = self.set_range(set);
+        self.ways[range]
+            .iter_mut()
+            .flatten()
+            .find(|e| e.key == key)
+            .map(|e| {
+                e.last_use = clock;
+                &mut e.meta
+            })
+    }
+
+    /// Looks up `key` in `set` without touching recency.
+    pub fn peek(&self, set: usize, key: K) -> Option<&M> {
+        let range = self.set_range(set);
+        self.ways[range].iter().flatten().find(|e| e.key == key).map(|e| &e.meta)
+    }
+
+    /// Inserts `key` into `set`; on a full set the LRU entry is evicted and
+    /// returned. Inserting a key already present replaces its metadata.
+    pub fn insert(&mut self, set: usize, key: K, meta: M) -> Option<(K, M)> {
+        self.clock += 1;
+        let clock = self.clock;
+        let range = self.set_range(set);
+
+        // Replace in place if present.
+        if let Some(e) = self.ways[range.clone()].iter_mut().flatten().find(|e| e.key == key) {
+            e.meta = meta;
+            e.last_use = clock;
+            return None;
+        }
+        // Free way?
+        if let Some(slot) = self.ways[range.clone()].iter_mut().find(|w| w.is_none()) {
+            *slot = Some(Entry { key, meta, last_use: clock });
+            return None;
+        }
+        // Evict LRU.
+        let victim_idx = range
+            .clone()
+            .min_by_key(|i| self.ways[*i].as_ref().map(|e| e.last_use).unwrap_or(0))
+            .expect("non-zero associativity");
+        let victim = self.ways[victim_idx].take().expect("victim way occupied");
+        self.ways[victim_idx] = Some(Entry { key, meta, last_use: clock });
+        Some((victim.key, victim.meta))
+    }
+
+    /// Removes `key` from `set`, returning its metadata.
+    pub fn remove(&mut self, set: usize, key: K) -> Option<M> {
+        let range = self.set_range(set);
+        for i in range {
+            if self.ways[i].as_ref().is_some_and(|e| e.key == key) {
+                return self.ways[i].take().map(|e| e.meta);
+            }
+        }
+        None
+    }
+
+    /// Iterates over the `(key, meta)` pairs resident in `set`.
+    pub fn iter_set(&self, set: usize) -> impl Iterator<Item = (&K, &M)> {
+        let range = self.set_range(set);
+        self.ways[range].iter().flatten().map(|e| (&e.key, &e.meta))
+    }
+
+    /// Iterates over every resident `(key, meta)` pair.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &M)> {
+        self.ways.iter().flatten().map(|e| (&e.key, &e.meta))
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.ways.iter().flatten().count()
+    }
+
+    /// Whether the array holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.ways.iter().all(|w| w.is_none())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut a: SetArray<u64, u8> = SetArray::new(4, 2);
+        assert!(a.insert(1, 10, 0xA).is_none());
+        assert_eq!(a.get_mut(1, 10).copied(), Some(0xA));
+        assert_eq!(a.peek(1, 10).copied(), Some(0xA));
+        assert!(a.get_mut(1, 11).is_none());
+        assert!(a.get_mut(0, 10).is_none(), "other sets are independent");
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut a: SetArray<u64, ()> = SetArray::new(1, 2);
+        a.insert(0, 1, ());
+        a.insert(0, 2, ());
+        // Touch 1 so 2 becomes LRU.
+        a.get_mut(0, 1);
+        let evicted = a.insert(0, 3, ());
+        assert_eq!(evicted, Some((2, ())));
+        assert!(a.peek(0, 1).is_some());
+        assert!(a.peek(0, 3).is_some());
+    }
+
+    #[test]
+    fn reinsert_replaces_metadata_without_eviction() {
+        let mut a: SetArray<u64, u8> = SetArray::new(1, 1);
+        a.insert(0, 7, 1);
+        assert!(a.insert(0, 7, 2).is_none());
+        assert_eq!(a.peek(0, 7).copied(), Some(2));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn remove_frees_the_way() {
+        let mut a: SetArray<u64, u8> = SetArray::new(1, 1);
+        a.insert(0, 7, 1);
+        assert_eq!(a.remove(0, 7), Some(1));
+        assert!(a.is_empty());
+        assert!(a.insert(0, 8, 2).is_none(), "freed way reused without eviction");
+    }
+
+    #[test]
+    fn iter_set_sees_only_that_set() {
+        let mut a: SetArray<u64, u8> = SetArray::new(2, 2);
+        a.insert(0, 1, 10);
+        a.insert(1, 2, 20);
+        let set0: Vec<_> = a.iter_set(0).map(|(k, m)| (*k, *m)).collect();
+        assert_eq!(set0, vec![(1, 10)]);
+        assert_eq!(a.iter().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_assoc_panics() {
+        let _: SetArray<u64, ()> = SetArray::new(4, 0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Property tests for the 1P2L duplicate-word policy (paper Fig. 9).
+//!
+//! The paper's correctness argument is: "modifications can only happen when
+//! there is only one copy of the word in the cache … and all modifications
+//! (if any) are propagated back before bringing in other copies". These
+//! properties drive random access/fill sequences through the cache the same
+//! way the hierarchy does, and check exactly those invariants.
+
+use mda_cache::level::CacheLevelExt;
+use mda_cache::{Access, Cache1P2L, CacheConfig, CacheLevel, SetMapping, Writeback};
+use mda_mem::{LineKey, Orientation, WordAddr};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+/// One step of a random cache workout.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    ScalarRead { tile: u64, r: u8, c: u8, orient: Orientation },
+    ScalarWrite { tile: u64, r: u8, c: u8, orient: Orientation },
+    VectorRead { tile: u64, idx: u8, orient: Orientation },
+    VectorWrite { tile: u64, idx: u8, orient: Orientation },
+}
+
+fn orient_strategy() -> impl Strategy<Value = Orientation> {
+    prop_oneof![Just(Orientation::Row), Just(Orientation::Col)]
+}
+
+fn step_strategy(tiles: u64) -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0..tiles, 0u8..8, 0u8..8, orient_strategy())
+            .prop_map(|(tile, r, c, orient)| Step::ScalarRead { tile, r, c, orient }),
+        (0..tiles, 0u8..8, 0u8..8, orient_strategy())
+            .prop_map(|(tile, r, c, orient)| Step::ScalarWrite { tile, r, c, orient }),
+        (0..tiles, 0u8..8, orient_strategy())
+            .prop_map(|(tile, idx, orient)| Step::VectorRead { tile, idx, orient }),
+        (0..tiles, 0u8..8, orient_strategy())
+            .prop_map(|(tile, idx, orient)| Step::VectorWrite { tile, idx, orient }),
+    ]
+}
+
+fn tiny_cache(mapping: SetMapping) -> Cache1P2L {
+    let mut cfg = CacheConfig::l1_32k();
+    cfg.size_bytes = 2048; // 32 line frames: plenty of conflict pressure
+    cfg.assoc = 4;
+    Cache1P2L::new(cfg, mapping)
+}
+
+/// Applies one step through the demand protocol the hierarchy uses,
+/// returning every writeback the cache emitted.
+fn apply(cache: &mut Cache1P2L, step: Step) -> Vec<Writeback> {
+    let acc = match step {
+        Step::ScalarRead { tile, r, c, orient } => {
+            Access::scalar_read(WordAddr::from_tile_coords(tile, r, c), orient, 0)
+        }
+        Step::ScalarWrite { tile, r, c, orient } => {
+            Access::scalar_write(WordAddr::from_tile_coords(tile, r, c), orient, 0)
+        }
+        Step::VectorRead { tile, idx, orient } => {
+            Access::vector_read(LineKey::new(tile, orient, idx), 0)
+        }
+        Step::VectorWrite { tile, idx, orient } => {
+            Access::vector_write(LineKey::new(tile, orient, idx), 0)
+        }
+    };
+    let probe = cache.probe(&acc);
+    let mut wbs = probe.writebacks.clone();
+    if !probe.hit {
+        let line = probe.fills[0];
+        let dirty = if acc.is_write {
+            match acc.width {
+                mda_cache::AccessWidth::Vector => 0xFF,
+                mda_cache::AccessWidth::Scalar => 1 << line.offset_of(acc.word).unwrap(),
+            }
+        } else {
+            0
+        };
+        wbs.extend(cache.fill(line, dirty));
+    }
+    wbs
+}
+
+/// Words dirty in the cache right now, with multiplicity.
+fn dirty_copy_counts(cache: &Cache1P2L) -> HashMap<WordAddr, usize> {
+    let mut counts: HashMap<WordAddr, usize> = HashMap::new();
+    cache.for_each_line(&mut |line, dirty| {
+        for off in 0..8u8 {
+            if dirty & (1 << off) != 0 {
+                *counts.entry(line.word_at(off)).or_default() += 1;
+            }
+        }
+    });
+    counts
+}
+
+/// Number of resident copies of each word.
+fn copy_counts(cache: &Cache1P2L) -> HashMap<WordAddr, usize> {
+    let mut counts: HashMap<WordAddr, usize> = HashMap::new();
+    cache.for_each_line(&mut |line, _| {
+        for w in line.words() {
+            *counts.entry(w).or_default() += 1;
+        }
+    });
+    counts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// At most one dirty copy of a word exists, ever, under both mappings.
+    #[test]
+    fn modified_words_have_a_sole_copy(
+        steps in proptest::collection::vec(step_strategy(4), 1..120),
+        same_set in any::<bool>(),
+    ) {
+        let mapping = if same_set { SetMapping::SameSet } else { SetMapping::DifferentSet };
+        let mut cache = tiny_cache(mapping);
+        for step in steps {
+            apply(&mut cache, step);
+            let dirty = dirty_copy_counts(&cache);
+            for (word, n) in &dirty {
+                prop_assert!(*n <= 1, "word {word} has {n} dirty copies");
+            }
+            // Stronger: a dirty word has no clean duplicate either — the
+            // write evicted them (Fig. 9 "write to duplicate").
+            let copies = copy_counts(&cache);
+            for (word, _) in dirty {
+                prop_assert_eq!(
+                    copies.get(&word).copied().unwrap_or(0), 1,
+                    "dirty word {} is duplicated", word
+                );
+            }
+        }
+    }
+
+    /// No write is ever lost: after a full flush, every word that was
+    /// written was either written back during the run or by the flush.
+    #[test]
+    fn no_lost_writes(
+        steps in proptest::collection::vec(step_strategy(4), 1..120),
+    ) {
+        let mut cache = tiny_cache(SetMapping::DifferentSet);
+        let mut written: HashSet<WordAddr> = HashSet::new();
+        let mut written_back: HashSet<WordAddr> = HashSet::new();
+        for step in steps {
+            match step {
+                Step::ScalarWrite { tile, r, c, .. } => {
+                    written.insert(WordAddr::from_tile_coords(tile, r, c));
+                }
+                Step::VectorWrite { tile, idx, orient } => {
+                    written.extend(LineKey::new(tile, orient, idx).words());
+                }
+                _ => {}
+            }
+            for wb in apply(&mut cache, step) {
+                for off in 0..8u8 {
+                    if wb.dirty & (1 << off) != 0 {
+                        written_back.insert(wb.line.word_at(off));
+                    }
+                }
+            }
+        }
+        for wb in cache.flush() {
+            for off in 0..8u8 {
+                if wb.dirty & (1 << off) != 0 {
+                    written_back.insert(wb.line.word_at(off));
+                }
+            }
+        }
+        for w in &written {
+            prop_assert!(written_back.contains(w), "write to {w} was dropped");
+        }
+    }
+
+    /// Occupancy accounting matches the resident-line enumeration.
+    #[test]
+    fn occupancy_matches_enumeration(
+        steps in proptest::collection::vec(step_strategy(8), 1..80),
+    ) {
+        let mut cache = tiny_cache(SetMapping::DifferentSet);
+        for step in steps {
+            apply(&mut cache, step);
+        }
+        let (rows, cols, _) = cache.occupancy();
+        let lines = cache.lines();
+        let enum_rows = lines.iter().filter(|(k, _)| k.orient == Orientation::Row).count();
+        let enum_cols = lines.iter().filter(|(k, _)| k.orient == Orientation::Col).count();
+        prop_assert_eq!(rows, enum_rows);
+        prop_assert_eq!(cols, enum_cols);
+    }
+
+    /// A scalar read immediately after any history hits if and only if the
+    /// word is resident (alignment is ignored for scalar reads).
+    #[test]
+    fn scalar_read_hit_iff_word_resident(
+        steps in proptest::collection::vec(step_strategy(4), 1..80),
+        tile in 0u64..4, r in 0u8..8, c in 0u8..8,
+    ) {
+        let mut cache = tiny_cache(SetMapping::DifferentSet);
+        for step in steps {
+            apply(&mut cache, step);
+        }
+        let word = WordAddr::from_tile_coords(tile, r, c);
+        let resident = cache.resident_words().contains(&word);
+        let probe = cache.probe(&Access::scalar_read(word, Orientation::Row, 0));
+        prop_assert_eq!(probe.hit, resident);
+    }
+}

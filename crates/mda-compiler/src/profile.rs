@@ -1,0 +1,192 @@
+//! Profiling-based direction extraction (paper Sec. V, last paragraph).
+//!
+//! When a data reference has no statically decidable row/column preference,
+//! the paper falls back to profiling: run the program once, watch each
+//! static instruction's address deltas, and annotate the instruction with
+//! the dominant direction. This module implements that profiler on top of
+//! the trace generator: it replays a (typically small) input, classifies
+//! every scalar access's delta as row-like (word stride within a tile row)
+//! or column-like (line stride within a tile column), and reports the
+//! majority direction per stream.
+
+use crate::ir::Program;
+use crate::trace::{TraceOp, TraceSource};
+use crate::vectorize::CodegenOptions;
+use mda_mem::{Orientation, WordAddr, LINE_BYTES, WORD_BYTES};
+use std::collections::HashMap;
+
+/// Per-stream profile counters.
+#[derive(Debug, Clone, Copy, Default)]
+struct StreamProfile {
+    row_like: u64,
+    col_like: u64,
+    last: Option<WordAddr>,
+}
+
+/// The direction profile of a program: per static instruction, the observed
+/// row-like and column-like delta counts.
+#[derive(Debug, Clone, Default)]
+pub struct DirectionProfile {
+    streams: HashMap<u32, StreamProfile>,
+}
+
+impl DirectionProfile {
+    /// Profiles `src` by replaying it under `opts`.
+    pub fn collect(src: &dyn TraceSource, opts: &CodegenOptions) -> DirectionProfile {
+        let mut profile = DirectionProfile::default();
+        src.generate(opts, &mut |op| {
+            if let TraceOp::Mem(m) = op {
+                let entry = profile.streams.entry(m.stream).or_default();
+                if let Some(prev) = entry.last {
+                    let delta = m.word.byte_addr() as i64 - prev.byte_addr() as i64;
+                    if delta.unsigned_abs() == WORD_BYTES {
+                        entry.row_like += 1;
+                    } else if delta.unsigned_abs() == LINE_BYTES {
+                        entry.col_like += 1;
+                    }
+                }
+                entry.last = Some(m.word);
+            }
+        });
+        profile
+    }
+
+    /// The dominant direction suggested for `stream`, or `None` when the
+    /// profile saw no classifiable deltas (e.g. random access).
+    pub fn suggestion(&self, stream: u32) -> Option<Orientation> {
+        let s = self.streams.get(&stream)?;
+        match s.row_like.cmp(&s.col_like) {
+            std::cmp::Ordering::Greater => Some(Orientation::Row),
+            std::cmp::Ordering::Less => Some(Orientation::Col),
+            std::cmp::Ordering::Equal => (s.row_like > 0).then_some(Orientation::Row),
+        }
+    }
+
+    /// Number of profiled streams.
+    pub fn len(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Whether no stream was observed.
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty()
+    }
+}
+
+/// Rebuilds `program` with profiling hints attached to every reference
+/// whose direction the static analysis cannot decide (both subscripts move
+/// with the innermost index). References with a clear static direction are
+/// left untouched — the profile never overrides the compiler.
+pub fn annotate(program: &Program, profile: &DirectionProfile) -> Program {
+    let mut out = Program::new(program.name().to_string());
+    for decl in program.arrays() {
+        out.array(decl.name.clone(), decl.rows, decl.cols);
+    }
+    for nest in program.nests() {
+        let innermost = nest.innermost();
+        let mut nest = nest.clone();
+        for r in &mut nest.refs {
+            let ambiguous =
+                r.row.coeff_of(innermost) != 0 && r.col.coeff_of(innermost) != 0;
+            if ambiguous {
+                if let Some(orient) = profile.suggestion(r.stream) {
+                    r.hint = Some(orient);
+                }
+            }
+        }
+        // add_nest reassigns stream ids; order is preserved, so they keep
+        // their original values.
+        out.add_nest(nest);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::AffineExpr;
+    use crate::ir::{ArrayRef, Loop, LoopNest, Program};
+    use crate::layout::LayoutKind;
+
+    /// Scalar-only codegen so the profiler sees raw element deltas.
+    fn scalar_opts() -> CodegenOptions {
+        CodegenOptions {
+            layout: LayoutKind::Tiled2D,
+            vectorize_rows: false,
+            vectorize_cols: false,
+            loop_overhead: 0,
+        }
+    }
+
+    #[test]
+    fn profiler_recovers_row_and_column_walks() {
+        let mut p = Program::new("t");
+        let a = p.array("A", 16, 16);
+        // Row walk (stream 0) and column walk (stream 1).
+        p.add_nest(LoopNest {
+            loops: vec![Loop::constant(0, 16), Loop::constant(0, 16)],
+            refs: vec![
+                ArrayRef::read(a, AffineExpr::var(0), AffineExpr::var(1)),
+                ArrayRef::read(a, AffineExpr::var(1), AffineExpr::var(0)),
+            ],
+            flops_per_iter: 0,
+        });
+        let profile = DirectionProfile::collect(&p, &scalar_opts());
+        assert_eq!(profile.suggestion(0), Some(Orientation::Row));
+        assert_eq!(profile.suggestion(1), Some(Orientation::Col));
+        assert_eq!(profile.len(), 2);
+    }
+
+    #[test]
+    fn unknown_stream_has_no_suggestion() {
+        let profile = DirectionProfile::default();
+        assert!(profile.is_empty());
+        assert_eq!(profile.suggestion(7), None);
+    }
+
+    #[test]
+    fn annotate_hints_only_ambiguous_refs() {
+        use crate::ir::{ArrayRef, Loop, LoopNest};
+        let mut p = Program::new("amb");
+        let a = p.array("A", 32, 32);
+        // Ref 0: statically row-wise. Ref 1: A[i+j][2i] — both subscripts
+        // move with i (innermost), statically ambiguous.
+        p.add_nest(LoopNest {
+            loops: vec![Loop::constant(0, 16), Loop::constant(0, 16)],
+            refs: vec![
+                ArrayRef::read(a, AffineExpr::var(0), AffineExpr::var(1)),
+                ArrayRef::read(
+                    a,
+                    AffineExpr::var(0).add(&AffineExpr::var(1)),
+                    AffineExpr::scaled_var(1, 2),
+                ),
+            ],
+            flops_per_iter: 0,
+        });
+        // Hand the profiler a synthetic suggestion for stream 1.
+        let mut profile = DirectionProfile::default();
+        profile.streams.insert(1, StreamProfile { row_like: 10, col_like: 0, last: None });
+        let annotated = annotate(&p, &profile);
+        let refs = &annotated.nests()[0].refs;
+        assert_eq!(refs[0].hint, None, "clear static direction is never overridden");
+        assert_eq!(refs[1].hint, Some(Orientation::Row));
+        // The analysis now classifies the ambiguous ref per the hint.
+        let a1 = crate::analysis::analyze_ref(&refs[1], 1);
+        assert_eq!(a1.direction, crate::analysis::Direction::Row);
+        assert!(!a1.unit_stride, "hints never enable vectorization");
+    }
+
+    #[test]
+    fn diagonal_walk_yields_no_false_confidence() {
+        let mut p = Program::new("diag");
+        let a = p.array("A", 16, 16);
+        // A[i][i]: deltas are neither word- nor line-sized inside a tile.
+        p.add_nest(LoopNest {
+            loops: vec![Loop::constant(0, 16)],
+            refs: vec![ArrayRef::read(a, AffineExpr::var(0), AffineExpr::var(0))],
+            flops_per_iter: 0,
+        });
+        let profile = DirectionProfile::collect(&p, &scalar_opts());
+        assert_eq!(profile.suggestion(0), None);
+    }
+}

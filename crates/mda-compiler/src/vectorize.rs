@@ -1,0 +1,163 @@
+//! Vectorization decisions (paper Sec. V, "Vectorization").
+//!
+//! Current compilers vectorize only unit-stride (row) accesses; column
+//! accesses would first need an expensive gather. Because the MDA hierarchy
+//! serves dense column lines, the MDA code generator vectorizes along *both*
+//! directions. A nest is vectorized when every non-invariant reference is
+//! unit-stride along its predicted direction **and** that direction is
+//! enabled by the target's [`CodegenOptions`]; otherwise the whole nest is
+//! emitted scalar (partial/gathered vectorization is out of scope, as in
+//! the paper).
+
+use crate::analysis::{analyze_nest, Direction, RefAnalysis};
+use crate::ir::LoopNest;
+use crate::layout::LayoutKind;
+
+/// Code-generation target options: which layout the data uses and which
+/// directions the SIMD unit may vectorize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodegenOptions {
+    /// Memory layout family.
+    pub layout: LayoutKind,
+    /// Vectorize unit-stride row accesses (all targets).
+    pub vectorize_rows: bool,
+    /// Vectorize unit-stride column accesses (MDA targets only).
+    pub vectorize_cols: bool,
+    /// Loop-control micro-ops charged per innermost iteration (or per
+    /// vector chunk once vectorized).
+    pub loop_overhead: u32,
+}
+
+impl CodegenOptions {
+    /// The conventional target: 1-D layout, row-only vectorization — what
+    /// the paper's 1P1L baseline runs.
+    pub fn baseline() -> CodegenOptions {
+        CodegenOptions {
+            layout: LayoutKind::Linear1D,
+            vectorize_rows: true,
+            vectorize_cols: false,
+            loop_overhead: 1,
+        }
+    }
+
+    /// The MDA target: tiled layout, row and column vectorization — what
+    /// all *P2L hierarchies run.
+    pub fn mda() -> CodegenOptions {
+        CodegenOptions {
+            layout: LayoutKind::Tiled2D,
+            vectorize_rows: true,
+            vectorize_cols: true,
+            loop_overhead: 1,
+        }
+    }
+
+    /// The Sec. IV-C Design-0 ablation: a 1-D hierarchy forced to run on
+    /// the 2-D-optimized layout (layout/access mismatch).
+    pub fn baseline_on_mda_layout() -> CodegenOptions {
+        CodegenOptions { layout: LayoutKind::Tiled2D, ..CodegenOptions::baseline() }
+    }
+
+    /// Whether a reference of direction `dir` may be emitted as a vector
+    /// operation.
+    pub fn allows(&self, dir: Direction) -> bool {
+        match dir {
+            Direction::Row => self.vectorize_rows,
+            Direction::Col => self.vectorize_cols,
+            Direction::Invariant => true,
+        }
+    }
+}
+
+impl Default for CodegenOptions {
+    fn default() -> CodegenOptions {
+        CodegenOptions::mda()
+    }
+}
+
+/// The per-nest vectorization verdict, with the per-reference analyses it
+/// was derived from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NestPlan {
+    /// Whether the innermost loop is vectorized by the 8-word line width.
+    pub vectorized: bool,
+    /// Analysis of each body reference (parallel to `nest.refs`).
+    pub refs: Vec<RefAnalysis>,
+}
+
+/// Decides whether `nest` vectorizes under `opts`.
+pub fn plan_nest(nest: &LoopNest, opts: &CodegenOptions) -> NestPlan {
+    let refs = analyze_nest(&nest.refs, nest.innermost());
+    let vectorized = !nest.refs.is_empty()
+        && refs.iter().all(|a| {
+            a.direction == Direction::Invariant || (a.unit_stride && opts.allows(a.direction))
+        });
+    NestPlan { vectorized, refs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::AffineExpr;
+    use crate::ir::{ArrayRef, Loop, Program};
+
+    /// sgemm's k-innermost nest: C[i][j] += A[i][k] * B[k][j].
+    fn sgemm_nest() -> LoopNest {
+        let mut p = Program::new("sgemm");
+        let a = p.array("A", 8, 8);
+        let b = p.array("B", 8, 8);
+        let c = p.array("C", 8, 8);
+        LoopNest {
+            loops: vec![Loop::constant(0, 8); 3],
+            refs: vec![
+                ArrayRef::read(a, AffineExpr::var(0), AffineExpr::var(2)), // row-wise
+                ArrayRef::read(b, AffineExpr::var(2), AffineExpr::var(1)), // col-wise
+                ArrayRef::read(c, AffineExpr::var(0), AffineExpr::var(1)), // invariant
+                ArrayRef::write(c, AffineExpr::var(0), AffineExpr::var(1)), // invariant
+            ],
+            flops_per_iter: 2,
+        }
+    }
+
+    #[test]
+    fn mda_target_vectorizes_mixed_direction_sgemm() {
+        let plan = plan_nest(&sgemm_nest(), &CodegenOptions::mda());
+        assert!(plan.vectorized, "column vectorization unlocks the k loop");
+    }
+
+    #[test]
+    fn baseline_cannot_vectorize_the_column_operand() {
+        let plan = plan_nest(&sgemm_nest(), &CodegenOptions::baseline());
+        assert!(!plan.vectorized, "B[k][j] forces the whole nest scalar");
+    }
+
+    #[test]
+    fn row_only_nest_vectorizes_everywhere() {
+        let mut p = Program::new("t");
+        let a = p.array("A", 8, 8);
+        let nest = LoopNest {
+            loops: vec![Loop::constant(0, 8), Loop::constant(0, 8)],
+            refs: vec![ArrayRef::read(a, AffineExpr::var(0), AffineExpr::var(1))],
+            flops_per_iter: 1,
+        };
+        assert!(plan_nest(&nest, &CodegenOptions::baseline()).vectorized);
+        assert!(plan_nest(&nest, &CodegenOptions::mda()).vectorized);
+    }
+
+    #[test]
+    fn non_unit_stride_blocks_vectorization_on_all_targets() {
+        let mut p = Program::new("t");
+        let a = p.array("A", 8, 8);
+        let nest = LoopNest {
+            loops: vec![Loop::constant(0, 4)],
+            refs: vec![ArrayRef::read(a, AffineExpr::constant(0), AffineExpr::scaled_var(0, 2))],
+            flops_per_iter: 1,
+        };
+        assert!(!plan_nest(&nest, &CodegenOptions::mda()).vectorized);
+    }
+
+    #[test]
+    fn empty_body_is_not_vectorized() {
+        let nest = LoopNest { loops: vec![Loop::constant(0, 8)], refs: vec![], flops_per_iter: 1 };
+        assert!(!plan_nest(&nest, &CodegenOptions::mda()).vectorized);
+    }
+}

@@ -1,0 +1,120 @@
+//! Main-memory configuration.
+
+use crate::timing::MemTiming;
+
+/// Configuration of the MDA main memory (paper Table I: 1 GB/channel × 4
+/// channels, STT-RAM, open-page, FRFCFS-WQF controller).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemConfig {
+    /// Number of independent channels.
+    pub channels: usize,
+    /// Ranks per channel.
+    pub ranks: usize,
+    /// Banks per rank.
+    pub banks: usize,
+    /// Tiles per physical array row inside a bank. Determines how many
+    /// consecutive bank-local tiles share an open row buffer entry.
+    pub tiles_per_array_row: u64,
+    /// Concurrently open row (and column) buffer entries per bank. One is
+    /// the paper's default; larger values model the multiple-sub-row-buffer
+    /// scheme examined in paper Sec. IX-B.
+    pub sub_buffers: usize,
+    /// Device timing parameters.
+    pub timing: MemTiming,
+    /// Write-queue capacity per channel (requests).
+    pub write_queue_capacity: usize,
+    /// When the write queue reaches this fill level, reads stall while the
+    /// queue drains to `write_queue_low` (the "WQF" in FRFCFS-WQF).
+    pub write_queue_high: usize,
+    /// Drain target once the high watermark is hit.
+    pub write_queue_low: usize,
+}
+
+impl MemConfig {
+    /// The paper's 4-channel STT configuration.
+    pub fn paper() -> MemConfig {
+        MemConfig {
+            channels: 4,
+            ranks: 1,
+            banks: 8,
+            // An 8 KB physical row (128 tiles × 64 B of row data each).
+            tiles_per_array_row: 128,
+            sub_buffers: 1,
+            timing: MemTiming::stt(),
+            write_queue_capacity: 64,
+            write_queue_high: 48,
+            write_queue_low: 16,
+        }
+    }
+
+    /// Same organization with the 1.6× faster device of Fig. 17.
+    pub fn paper_fast() -> MemConfig {
+        MemConfig { timing: MemTiming::fast(), ..MemConfig::paper() }
+    }
+
+    /// Total number of banks across the whole memory.
+    pub fn total_banks(&self) -> usize {
+        self.channels * self.ranks * self.banks
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    /// Returns a human-readable message when a field combination is invalid
+    /// (zero-sized resources or inverted watermarks).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.channels == 0 || self.ranks == 0 || self.banks == 0 {
+            return Err("channels, ranks and banks must all be non-zero".into());
+        }
+        if self.tiles_per_array_row == 0 {
+            return Err("tiles_per_array_row must be non-zero".into());
+        }
+        if self.sub_buffers == 0 {
+            return Err("at least one buffer per orientation is required".into());
+        }
+        if self.write_queue_low >= self.write_queue_high {
+            return Err(format!(
+                "write queue low watermark {} must be below high watermark {}",
+                self.write_queue_low, self.write_queue_high
+            ));
+        }
+        if self.write_queue_high > self.write_queue_capacity {
+            return Err(format!(
+                "write queue high watermark {} exceeds capacity {}",
+                self.write_queue_high, self.write_queue_capacity
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for MemConfig {
+    fn default() -> MemConfig {
+        MemConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_valid() {
+        assert_eq!(MemConfig::paper().validate(), Ok(()));
+        assert_eq!(MemConfig::paper_fast().validate(), Ok(()));
+        assert_eq!(MemConfig::paper().total_banks(), 32);
+    }
+
+    #[test]
+    fn invalid_watermarks_are_rejected() {
+        let mut c = MemConfig::paper();
+        c.write_queue_low = c.write_queue_high;
+        assert!(c.validate().is_err());
+        let mut c = MemConfig::paper();
+        c.write_queue_high = c.write_queue_capacity + 1;
+        assert!(c.validate().is_err());
+        let mut c = MemConfig::paper();
+        c.banks = 0;
+        assert!(c.validate().is_err());
+    }
+}

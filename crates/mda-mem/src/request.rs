@@ -1,0 +1,84 @@
+//! Memory request and completion types.
+
+use crate::addr::LineKey;
+use crate::Cycle;
+
+/// The kind of a memory transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RequestKind {
+    /// Demand or prefetch fill of one line.
+    Read,
+    /// Writeback of one (possibly partial) line.
+    Write,
+}
+
+/// One line-granular memory transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    /// The row or column line being transferred. The orientation field is
+    /// the identifier the cache hierarchy passes down so the controller can
+    /// steer the access to the row or the column buffer (paper Sec. VI-A).
+    pub line: LineKey,
+    /// Read (fill) or write (writeback).
+    pub kind: RequestKind,
+    /// Number of valid words transferred (sparse writebacks may move fewer
+    /// than eight words; reads always move a full line).
+    pub words: u8,
+}
+
+impl MemRequest {
+    /// A full-line read request.
+    pub fn read(line: LineKey) -> MemRequest {
+        MemRequest { line, kind: RequestKind::Read, words: 8 }
+    }
+
+    /// A writeback of `words` valid words of `line`.
+    ///
+    /// # Panics
+    /// Panics if `words` is zero or exceeds the line size.
+    pub fn write(line: LineKey, words: u8) -> MemRequest {
+        assert!((1..=8).contains(&words), "writeback must carry 1..=8 words");
+        MemRequest { line, kind: RequestKind::Write, words }
+    }
+
+    /// Bytes moved on the memory bus by this request.
+    pub fn bytes(&self) -> u64 {
+        u64::from(self.words) * crate::WORD_BYTES
+    }
+}
+
+/// Timing outcome of a scheduled request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemCompletion {
+    /// Cycle at which the critical word is available to the requester
+    /// (reads) or at which the write is accepted (writes are posted).
+    pub done: Cycle,
+    /// Cycle at which the full burst has left the channel.
+    pub burst_done: Cycle,
+    /// Whether the access hit in the open row/column buffer.
+    pub buffer_hit: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LineKey, Orientation};
+
+    #[test]
+    fn read_moves_full_line() {
+        let r = MemRequest::read(LineKey::new(0, Orientation::Row, 0));
+        assert_eq!(r.bytes(), 64);
+    }
+
+    #[test]
+    fn partial_write_moves_fewer_bytes() {
+        let w = MemRequest::write(LineKey::new(0, Orientation::Col, 1), 3);
+        assert_eq!(w.bytes(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=8")]
+    fn zero_word_write_rejected() {
+        let _ = MemRequest::write(LineKey::new(0, Orientation::Row, 0), 0);
+    }
+}

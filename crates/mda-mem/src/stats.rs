@@ -1,0 +1,77 @@
+//! Main-memory statistics.
+
+use crate::addr::Orientation;
+
+/// Counters accumulated by the memory controller.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Line reads served.
+    pub reads: u64,
+    /// Line writes accepted.
+    pub writes: u64,
+    /// Row-mode reads.
+    pub row_reads: u64,
+    /// Column-mode reads.
+    pub col_reads: u64,
+    /// Reads that hit an open row/column buffer.
+    pub buffer_hits: u64,
+    /// Reads that required closing a conflicting buffer entry first.
+    pub buffer_conflicts: u64,
+    /// Array activations (row or column openings) performed for reads.
+    pub activations: u64,
+    /// Bytes moved from memory to the cache hierarchy.
+    pub bytes_read: u64,
+    /// Bytes moved from the cache hierarchy to memory.
+    pub bytes_written: u64,
+    /// Read stalls caused by write-queue drains (count of affected reads).
+    pub write_drain_stalls: u64,
+}
+
+impl MemStats {
+    /// Total bytes moved on the memory channels, both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Buffer hit rate over all reads, in `[0, 1]`; zero when idle.
+    pub fn buffer_hit_rate(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.buffer_hits as f64 / self.reads as f64
+        }
+    }
+
+    /// Records a read in `orient`.
+    pub(crate) fn note_read(&mut self, orient: Orientation, bytes: u64) {
+        self.reads += 1;
+        self.bytes_read += bytes;
+        match orient {
+            Orientation::Row => self.row_reads += 1,
+            Orientation::Col => self.col_reads += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_idle_memory() {
+        assert_eq!(MemStats::default().buffer_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn note_read_splits_by_orientation() {
+        let mut s = MemStats::default();
+        s.note_read(Orientation::Row, 64);
+        s.note_read(Orientation::Col, 64);
+        s.note_read(Orientation::Col, 64);
+        assert_eq!(s.reads, 3);
+        assert_eq!(s.row_reads, 1);
+        assert_eq!(s.col_reads, 2);
+        assert_eq!(s.bytes_read, 192);
+        assert_eq!(s.total_bytes(), 192);
+    }
+}

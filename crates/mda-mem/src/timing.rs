@@ -1,0 +1,132 @@
+//! Device timing parameters, expressed in 3 GHz CPU cycles.
+//!
+//! The paper models its MDA main memory on STT-MRAM devices (Everspin-class
+//! parts simulated in NVMain). We express all latencies in CPU cycles so the
+//! core and memory share one clock domain; the `fast()` preset divides every
+//! latency by 1.6 to reproduce the paper's Fig. 17 "faster main memory"
+//! sensitivity study.
+
+/// Timing parameters for the MDA main memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemTiming {
+    /// Fixed controller pipeline latency added to every request (queueing,
+    /// address translation, command issue).
+    pub controller_latency: u64,
+    /// Extra address-translation cycles for a column-mode access (the
+    /// paper adds one memory cycle for the column decoder).
+    pub col_decode_extra: u64,
+    /// Activate: array row (or column) → open buffer.
+    pub t_rcd: u64,
+    /// Buffer read → first data on the internal bus.
+    pub t_cas: u64,
+    /// Precharge / buffer close before opening a different row or column.
+    pub t_rp: u64,
+    /// Array write service time for one line (STT writes are slow).
+    pub t_write: u64,
+    /// Channel-bus occupancy to move one 64-byte line.
+    pub burst: u64,
+    /// Cycles until the critical word of a burst is delivered
+    /// (critical-word-first transfer, paper Sec. IV-B-d).
+    pub crit_word: u64,
+}
+
+impl MemTiming {
+    /// STT-MRAM-class crosspoint timings (the paper's default technology).
+    pub fn stt() -> MemTiming {
+        MemTiming {
+            controller_latency: 24,
+            col_decode_extra: 3,
+            t_rcd: 90,
+            t_cas: 30,
+            t_rp: 45,
+            t_write: 150,
+            burst: 16,
+            crit_word: 4,
+        }
+    }
+
+    /// A 1.6× faster main memory (Fig. 17 sensitivity study).
+    pub fn fast() -> MemTiming {
+        MemTiming::stt().scaled(1.6)
+    }
+
+    /// Returns a copy of `self` with every latency divided by `factor`
+    /// (values are rounded and clamped to at least one cycle).
+    ///
+    /// # Panics
+    /// Panics if `factor` is not strictly positive and finite.
+    pub fn scaled(&self, factor: f64) -> MemTiming {
+        assert!(factor.is_finite() && factor > 0.0, "scale factor must be positive");
+        let s = |v: u64| (((v as f64) / factor).round() as u64).max(1);
+        MemTiming {
+            controller_latency: s(self.controller_latency),
+            col_decode_extra: s(self.col_decode_extra),
+            t_rcd: s(self.t_rcd),
+            t_cas: s(self.t_cas),
+            t_rp: s(self.t_rp),
+            t_write: s(self.t_write),
+            burst: s(self.burst),
+            crit_word: s(self.crit_word),
+        }
+    }
+
+    /// Latency of a buffer hit (no activation needed), excluding bus time.
+    #[inline]
+    pub fn hit_latency(&self) -> u64 {
+        self.t_cas
+    }
+
+    /// Latency of a buffer miss with a previously open conflicting entry:
+    /// precharge, activate, then read out.
+    #[inline]
+    pub fn conflict_latency(&self) -> u64 {
+        self.t_rp + self.t_rcd + self.t_cas
+    }
+
+    /// Latency of an access to an idle (closed) bank: activate + read.
+    #[inline]
+    pub fn closed_latency(&self) -> u64 {
+        self.t_rcd + self.t_cas
+    }
+}
+
+impl Default for MemTiming {
+    fn default() -> MemTiming {
+        MemTiming::stt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_is_strictly_faster() {
+        let base = MemTiming::stt();
+        let fast = MemTiming::fast();
+        assert!(fast.t_rcd < base.t_rcd);
+        assert!(fast.t_cas < base.t_cas);
+        assert!(fast.t_write < base.t_write);
+        assert!(fast.burst < base.burst);
+    }
+
+    #[test]
+    fn scaling_rounds_and_clamps() {
+        let t = MemTiming::stt().scaled(1000.0);
+        assert_eq!(t.t_cas, 1);
+        assert_eq!(t.burst, 1);
+    }
+
+    #[test]
+    fn latency_orderings_hold() {
+        let t = MemTiming::stt();
+        assert!(t.hit_latency() < t.closed_latency());
+        assert!(t.closed_latency() < t.conflict_latency());
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor must be positive")]
+    fn zero_scale_panics() {
+        let _ = MemTiming::stt().scaled(0.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the MDA main-memory model.
+
+use mda_mem::{DecodedAddr, LineKey, MainMemory, MemConfig, MemRequest, Orientation};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn line_strategy(tiles: u64) -> impl Strategy<Value = LineKey> {
+    (0..tiles, 0u8..8, any::<bool>()).prop_map(|(t, idx, col)| {
+        LineKey::new(t, if col { Orientation::Col } else { Orientation::Row }, idx)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Completions never travel back in time and always include the
+    /// controller latency; the full burst never beats the critical word.
+    #[test]
+    fn completions_are_causal(
+        lines in proptest::collection::vec(line_strategy(4096), 1..64),
+    ) {
+        let mut mem = MainMemory::new(MemConfig::paper());
+        let mut now = 0u64;
+        for line in lines {
+            let c = mem.read(line, now);
+            prop_assert!(c.done > now + mem.config().timing.controller_latency);
+            prop_assert!(c.burst_done >= c.done - mem.config().timing.crit_word);
+            now += 7; // arbitrary forward progress
+        }
+    }
+
+    /// The tile decode is injective: no two tiles share (channel, rank,
+    /// bank, tile_in_bank) when the total bank count is a power of two.
+    #[test]
+    fn decode_is_injective(offset in 0u64..100_000) {
+        let cfg = MemConfig::paper();
+        let mut seen = HashSet::new();
+        for t in offset..offset + 512 {
+            let d = DecodedAddr::decode(t, cfg.channels, cfg.ranks, cfg.banks);
+            prop_assert!(d.channel < cfg.channels);
+            prop_assert!(d.rank < cfg.ranks);
+            prop_assert!(d.bank < cfg.banks);
+            prop_assert!(
+                seen.insert((d.channel, d.rank, d.bank, d.tile_in_bank)),
+                "tile {t} aliases another tile"
+            );
+        }
+    }
+
+    /// Strided tile walks spread over more than one bank (the XOR fold at
+    /// work) for every power-of-two stride that used to serialize.
+    #[test]
+    fn strided_walks_spread_over_banks(stride_log in 2u32..8) {
+        let cfg = MemConfig::paper();
+        let stride = 1u64 << stride_log;
+        let banks: HashSet<(usize, usize)> = (0..64)
+            .map(|k| {
+                let d = DecodedAddr::decode(k * stride, cfg.channels, cfg.ranks, cfg.banks);
+                (d.channel, d.bank)
+            })
+            .collect();
+        prop_assert!(banks.len() >= 4, "stride {stride} uses only {} banks", banks.len());
+    }
+
+    /// Statistics exactly reflect the requests issued.
+    #[test]
+    fn stats_conservation(
+        reads in proptest::collection::vec(line_strategy(64), 0..40),
+        writes in proptest::collection::vec((line_strategy(64), 1u8..9), 0..40),
+    ) {
+        let mut mem = MainMemory::new(MemConfig::paper());
+        for (i, line) in reads.iter().enumerate() {
+            mem.read(*line, i as u64 * 10);
+        }
+        let mut expect_wbytes = 0;
+        for (i, (line, words)) in writes.iter().enumerate() {
+            mem.access(MemRequest::write(*line, *words), i as u64 * 10);
+            expect_wbytes += u64::from(*words) * 8;
+        }
+        let s = mem.stats();
+        prop_assert_eq!(s.reads, reads.len() as u64);
+        prop_assert_eq!(s.writes, writes.len() as u64);
+        prop_assert_eq!(s.bytes_read, reads.len() as u64 * 64);
+        prop_assert_eq!(s.bytes_written, expect_wbytes);
+        prop_assert_eq!(s.row_reads + s.col_reads, s.reads);
+        prop_assert!(s.buffer_hits + s.buffer_conflicts <= s.reads);
+    }
+
+    /// Reading the same line twice back-to-back is never slower the second
+    /// time (open-page locality).
+    #[test]
+    fn repeat_reads_exploit_open_buffers(line in line_strategy(256)) {
+        let mut mem = MainMemory::new(MemConfig::paper());
+        let first = mem.read(line, 0);
+        let lat1 = first.done;
+        let second = mem.read(line, first.burst_done);
+        let lat2 = second.done - first.burst_done;
+        prop_assert!(lat2 <= lat1);
+        prop_assert!(second.buffer_hit);
+    }
+}

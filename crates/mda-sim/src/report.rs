@@ -1,0 +1,173 @@
+//! Simulation reports: everything the paper's figures are plotted from.
+
+use crate::occupancy::OccupancyTimeline;
+use mda_cache::CacheStats;
+use mda_compiler::trace::OpCounts;
+use mda_mem::{Cycle, MemStats};
+
+/// The outcome of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Workload name.
+    pub workload: String,
+    /// Design-point label (e.g. `1P2L`).
+    pub design: String,
+    /// Total execution cycles.
+    pub cycles: Cycle,
+    /// Per-cache-level statistics, L1 first.
+    pub levels: Vec<CacheStats>,
+    /// Main-memory statistics.
+    pub mem: MemStats,
+    /// Trace operation counts.
+    pub ops: OpCounts,
+    /// Column-occupancy timeline (empty unless sampling was enabled).
+    pub occupancy: OccupancyTimeline,
+}
+
+impl SimReport {
+    /// L1 demand hit rate.
+    pub fn l1_hit_rate(&self) -> f64 {
+        self.levels.first().map(CacheStats::hit_rate).unwrap_or(0.0)
+    }
+
+    /// Statistics of the last-level cache.
+    pub fn llc(&self) -> &CacheStats {
+        self.levels.last().expect("at least one level")
+    }
+
+    /// Demand accesses arriving at the LLC (the paper's "L3 accesses").
+    pub fn llc_accesses(&self) -> u64 {
+        self.llc().accesses
+    }
+
+    /// Bytes exchanged between the LLC and main memory (the paper's
+    /// "L3-memory transfer").
+    pub fn llc_memory_bytes(&self) -> u64 {
+        self.mem.total_bytes()
+    }
+
+    /// `self.cycles / baseline.cycles` — the paper's normalized total
+    /// cycles.
+    pub fn normalized_cycles(&self, baseline: &SimReport) -> f64 {
+        ratio(self.cycles, baseline.cycles)
+    }
+
+    /// Normalized L1 hit rate against a baseline run.
+    pub fn normalized_l1_hit_rate(&self, baseline: &SimReport) -> f64 {
+        let b = baseline.l1_hit_rate();
+        if b == 0.0 {
+            0.0
+        } else {
+            self.l1_hit_rate() / b
+        }
+    }
+
+    /// Normalized LLC access count.
+    pub fn normalized_llc_accesses(&self, baseline: &SimReport) -> f64 {
+        ratio(self.llc_accesses(), baseline.llc_accesses())
+    }
+
+    /// Normalized LLC↔memory bytes.
+    pub fn normalized_memory_bytes(&self, baseline: &SimReport) -> f64 {
+        ratio(self.llc_memory_bytes(), baseline.llc_memory_bytes())
+    }
+}
+
+impl SimReport {
+    /// Renders a human-readable multi-line summary of the run.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{} on {}: {} cycles, {} memory µops ({} vector), {} compute µops\n",
+            self.workload,
+            self.design,
+            self.cycles,
+            self.ops.mem_ops,
+            self.ops.vector_mem_ops,
+            self.ops.compute_uops
+        ));
+        for (i, lvl) in self.levels.iter().enumerate() {
+            out.push_str(&format!(
+                "  L{}: {:>10} accesses, {:>5.1}% hits, {:>8} fills ({} prefetch), \
+                 {:>6} KB from below, {:>6} KB to below\n",
+                i + 1,
+                lvl.accesses,
+                lvl.hit_rate() * 100.0,
+                lvl.demand_fills + lvl.prefetch_fills,
+                lvl.prefetch_fills,
+                lvl.bytes_from_below / 1024,
+                lvl.bytes_to_below / 1024,
+            ));
+        }
+        out.push_str(&format!(
+            "  mem: {} reads ({} row / {} col, {:.1}% buffer hits), {} writes, {} KB total\n",
+            self.mem.reads,
+            self.mem.row_reads,
+            self.mem.col_reads,
+            self.mem.buffer_hit_rate() * 100.0,
+            self.mem.writes,
+            self.mem.total_bytes() / 1024,
+        ));
+        out
+    }
+}
+
+impl std::fmt::Display for SimReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+fn ratio(a: u64, b: u64) -> f64 {
+    if b == 0 {
+        0.0
+    } else {
+        a as f64 / b as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cycles: u64, llc_accesses: u64) -> SimReport {
+        let llc = CacheStats { accesses: llc_accesses, ..CacheStats::default() };
+        SimReport {
+            workload: "w".into(),
+            design: "d".into(),
+            cycles,
+            levels: vec![CacheStats::default(), llc],
+            mem: MemStats::default(),
+            ops: OpCounts::default(),
+            occupancy: OccupancyTimeline::new(),
+        }
+    }
+
+    #[test]
+    fn render_mentions_every_section() {
+        let r = report(1234, 9);
+        let out = r.render();
+        assert!(out.contains("1234 cycles"));
+        assert!(out.contains("L1:"));
+        assert!(out.contains("L2:"));
+        assert!(out.contains("mem:"));
+        assert_eq!(out, format!("{r}"));
+    }
+
+    #[test]
+    fn normalization_against_baseline() {
+        let base = report(1000, 100);
+        let ours = report(300, 22);
+        assert!((ours.normalized_cycles(&base) - 0.3).abs() < 1e-12);
+        assert!((ours.normalized_llc_accesses(&base) - 0.22).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_baselines_do_not_divide_by_zero() {
+        let base = report(0, 0);
+        let ours = report(10, 10);
+        assert_eq!(ours.normalized_cycles(&base), 0.0);
+        assert_eq!(ours.normalized_l1_hit_rate(&base), 0.0);
+        assert_eq!(ours.normalized_memory_bytes(&base), 0.0);
+    }
+}

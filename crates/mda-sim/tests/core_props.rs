@@ -1,0 +1,92 @@
+//! Property tests for the bounded-window core model.
+
+use mda_sim::{Core, CoreConfig};
+use proptest::prelude::*;
+
+fn cfg_strategy() -> impl Strategy<Value = CoreConfig> {
+    (1usize..64, 1u32..8, 1u32..4, 1u64..6).prop_map(|(window, issue, ports, alu)| CoreConfig {
+        window,
+        issue_width: issue,
+        load_ports: ports.min(issue),
+        alu_latency: alu,
+    })
+}
+
+/// A trace of op latencies: `None` = one compute µop, `Some(l)` = a memory
+/// op taking `l` cycles.
+fn trace_strategy() -> impl Strategy<Value = Vec<Option<u64>>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => Just(None),
+            2 => (1u64..50).prop_map(Some),
+            1 => (100u64..400).prop_map(Some),
+        ],
+        1..120,
+    )
+}
+
+fn run(cfg: CoreConfig, trace: &[Option<u64>]) -> u64 {
+    let mut core = Core::new(cfg);
+    for op in trace {
+        match op {
+            None => core.issue_compute(1),
+            Some(latency) => {
+                let l = *latency;
+                core.issue_mem(move |at| at + l);
+            }
+        }
+    }
+    core.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Total cycles are at least the issue-bandwidth and latency lower
+    /// bounds and at most the fully serialized upper bound.
+    #[test]
+    fn cycles_are_bounded(cfg in cfg_strategy(), trace in trace_strategy()) {
+        let total = run(cfg, &trace);
+        let n = trace.len() as u64;
+        let issue_floor = n / u64::from(cfg.issue_width);
+        let max_op = trace.iter().flatten().copied().max().unwrap_or(0).max(cfg.alu_latency);
+        prop_assert!(total >= issue_floor, "{total} < issue floor {issue_floor}");
+        let serial: u64 = trace
+            .iter()
+            .map(|o| o.unwrap_or(cfg.alu_latency) + 1)
+            .sum();
+        prop_assert!(total <= serial + max_op, "{total} > serial bound {serial}");
+    }
+
+    /// A wider core never takes longer on the same trace.
+    #[test]
+    fn wider_issue_is_not_slower(cfg in cfg_strategy(), trace in trace_strategy()) {
+        let narrow = run(cfg, &trace);
+        let wide = run(
+            CoreConfig { issue_width: cfg.issue_width * 2, load_ports: cfg.load_ports * 2, ..cfg },
+            &trace,
+        );
+        prop_assert!(wide <= narrow, "wide {wide} vs narrow {narrow}");
+    }
+
+    /// A larger window never hurts (more MLP).
+    #[test]
+    fn bigger_window_is_not_slower(cfg in cfg_strategy(), trace in trace_strategy()) {
+        let small = run(cfg, &trace);
+        let big = run(CoreConfig { window: cfg.window * 4, ..cfg }, &trace);
+        prop_assert!(big <= small, "big-window {big} vs small-window {small}");
+    }
+
+    /// Retired µop accounting matches the trace.
+    #[test]
+    fn retired_uops_match(cfg in cfg_strategy(), trace in trace_strategy()) {
+        let mut core = Core::new(cfg);
+        for op in &trace {
+            match op {
+                None => core.issue_compute(1),
+                Some(l) => { let l = *l; core.issue_mem(move |at| at + l); }
+            }
+        }
+        prop_assert_eq!(core.retired_uops(), trace.len() as u64);
+    }
+}

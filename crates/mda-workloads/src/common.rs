@@ -1,0 +1,112 @@
+//! The benchmark registry: every kernel of the paper's evaluation behind
+//! one enum.
+
+use crate::{htap1, htap2, sgemm, sobel, ssyr2k, ssyrk, strmm};
+use mda_compiler::trace::TraceSource;
+
+/// The seven evaluation kernels (paper Sec. VI-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Kernel {
+    /// Dense matrix multiply.
+    Sgemm,
+    /// Symmetric rank-2k update.
+    Ssyr2k,
+    /// Symmetric rank-k update.
+    Ssyrk,
+    /// Triangular matrix multiply.
+    Strmm,
+    /// Vertical Sobel filter.
+    Sobel,
+    /// Analytics-dominant HTAP.
+    Htap1,
+    /// Transaction-dominant HTAP.
+    Htap2,
+}
+
+impl Kernel {
+    /// All kernels, in the paper's plotting order.
+    pub fn all() -> [Kernel; 7] {
+        [
+            Kernel::Sgemm,
+            Kernel::Ssyr2k,
+            Kernel::Ssyrk,
+            Kernel::Strmm,
+            Kernel::Sobel,
+            Kernel::Htap1,
+            Kernel::Htap2,
+        ]
+    }
+
+    /// The kernel's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Kernel::Sgemm => "sgemm",
+            Kernel::Ssyr2k => "ssyr2k",
+            Kernel::Ssyrk => "ssyrk",
+            Kernel::Strmm => "strmm",
+            Kernel::Sobel => "sobel",
+            Kernel::Htap1 => "htap1",
+            Kernel::Htap2 => "htap2",
+        }
+    }
+
+    /// Builds the kernel for input size `n` (matrix dimension; HTAP tables
+    /// are `2048 × n` as in the paper).
+    ///
+    /// # Panics
+    /// Panics if `n` is too small for the kernel (e.g. `sobel` needs
+    /// `n ≥ 3`).
+    pub fn build(&self, n: u64) -> Box<dyn TraceSource> {
+        match self {
+            Kernel::Sgemm => Box::new(sgemm(n)),
+            Kernel::Ssyr2k => Box::new(ssyr2k(n)),
+            Kernel::Ssyrk => Box::new(ssyrk(n)),
+            Kernel::Strmm => Box::new(strmm(n)),
+            Kernel::Sobel => Box::new(sobel(n)),
+            Kernel::Htap1 => Box::new(htap1(n)),
+            Kernel::Htap2 => Box::new(htap2(n)),
+        }
+    }
+
+    /// Parses a kernel from its display name.
+    ///
+    /// # Errors
+    /// Returns the unrecognized input back to the caller.
+    pub fn parse(s: &str) -> Result<Kernel, String> {
+        Kernel::all()
+            .into_iter()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| format!("unknown kernel '{s}'"))
+    }
+}
+
+impl std::fmt::Display for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mda_compiler::trace::count_ops;
+    use mda_compiler::CodegenOptions;
+
+    #[test]
+    fn all_kernels_build_and_emit_ops() {
+        for k in Kernel::all() {
+            let src = k.build(16);
+            let c = count_ops(src.as_ref(), &CodegenOptions::mda());
+            assert!(c.mem_ops > 0, "{k} emitted no memory ops");
+            assert_eq!(src.name(), k.name());
+        }
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for k in Kernel::all() {
+            assert_eq!(Kernel::parse(k.name()), Ok(k));
+        }
+        assert!(Kernel::parse("dgemm").is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! # mda-workloads — the MDACache evaluation kernels
+//!
+//! The seven benchmarks of the paper's evaluation (Sec. VI-B), expressed in
+//! the `mda-compiler` loop-nest IR (or, for the HTAP pair, as a direct
+//! trace generator, since transactions touch random records):
+//!
+//! | kernel  | source                   | dominant affinity         |
+//! |---------|--------------------------|---------------------------|
+//! | sgemm   | BLAS matrix multiply     | rows (A) + columns (B)    |
+//! | ssyr2k  | BLAS rank-2k update      | mixed rows/columns        |
+//! | ssyrk   | BLAS rank-k update       | columns, then a row phase |
+//! | strmm   | BLAS triangular multiply | rows (A) + columns (B)    |
+//! | sobel   | vertical Sobel filter    | columns                   |
+//! | htap1   | GS-DRAM HTAP, analytics  | column scans + row txns   |
+//! | htap2   | GS-DRAM HTAP, txn-heavy  | row txns + column scans   |
+//!
+//! Matrix kernels take the square input dimension (`256`/`512` in the
+//! paper); the HTAP kernels use a `2048 × n` table, matching the paper's
+//! `2048×256` / `2048×512` inputs.
+//!
+//! ```
+//! use mda_workloads::{sgemm, Kernel};
+//! use mda_compiler::{trace::count_ops, CodegenOptions};
+//!
+//! let p = sgemm(32);
+//! let base = count_ops(&p, &CodegenOptions::baseline());
+//! let mda = count_ops(&p, &CodegenOptions::mda());
+//! // Dual-direction vectorization cuts the op count dramatically.
+//! assert!(mda.mem_ops * 4 < base.mem_ops);
+//! assert_eq!(Kernel::all().len(), 7);
+//! ```
+
+pub mod common;
+pub mod htap;
+pub mod sgemm;
+pub mod sobel;
+pub mod ssyr2k;
+pub mod ssyrk;
+pub mod strmm;
+
+pub use common::Kernel;
+pub use htap::{htap1, htap2, HtapWorkload};
+pub use sgemm::sgemm;
+pub use sobel::sobel;
+pub use ssyr2k::ssyr2k;
+pub use ssyrk::ssyrk;
+pub use strmm::strmm;

@@ -1,0 +1,68 @@
+//! The paper's Sec. V-A walk-through: why `C = A·B` needs hardware/software
+//! co-design, shown end to end.
+//!
+//! Builds sgemm in the loop-nest IR, runs the compiler's direction
+//! analysis, shows the layout the MDA target plans (intra-array padding,
+//! tile-aligned columns), compares the op streams both code generators
+//! emit, and finishes with a simulated head-to-head.
+//!
+//! ```text
+//! cargo run --release --example matmul_codesign [n]
+//! ```
+
+use mdacache::compiler::analysis::analyze_ref;
+use mdacache::compiler::trace::count_ops;
+use mdacache::compiler::{CodegenOptions, Layout, LayoutKind};
+use mdacache::sim::{simulate, HierarchyKind, SystemConfig};
+use mdacache::workloads::sgemm;
+
+fn main() {
+    let n: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(128);
+    let program = sgemm(n);
+
+    println!("== 1. Access-direction prediction (paper Sec. V) ==");
+    let nest = &program.nests()[0];
+    for r in &nest.refs {
+        let decl = program.array_decl(r.array);
+        let a = analyze_ref(r, nest.innermost());
+        println!(
+            "  {}[{}][{}]  →  {:?} (unit stride: {})",
+            decl.name, r.row, r.col, a.direction, a.unit_stride
+        );
+    }
+
+    println!("\n== 2. MDA-compliant layout (intra-array padding) ==");
+    for kind in [LayoutKind::Linear1D, LayoutKind::Tiled2D] {
+        let layout = Layout::plan(&program, kind);
+        println!("  {kind:?}: total footprint {} KB", layout.total_bytes() / 1024);
+    }
+
+    println!("\n== 3. Dual-direction vectorization ==");
+    let base_ops = count_ops(&program, &CodegenOptions::baseline());
+    let mda_ops = count_ops(&program, &CodegenOptions::mda());
+    println!(
+        "  baseline codegen: {:>10} memory µops ({} vector)",
+        base_ops.mem_ops, base_ops.vector_mem_ops
+    );
+    println!(
+        "  MDA codegen:      {:>10} memory µops ({} vector)  → {:.1}× fewer",
+        mda_ops.mem_ops,
+        mda_ops.vector_mem_ops,
+        base_ops.mem_ops as f64 / mda_ops.mem_ops as f64
+    );
+
+    println!("\n== 4. Simulated head-to-head (scaled system) ==");
+    let base = simulate(&program, &SystemConfig::scaled(HierarchyKind::Baseline1P1L));
+    let mda = simulate(&program, &SystemConfig::scaled(HierarchyKind::P1L2DifferentSet));
+    println!(
+        "  1P1L+prefetch: {:>12} cycles, {:>8} KB memory traffic",
+        base.cycles,
+        base.llc_memory_bytes() / 1024
+    );
+    println!(
+        "  1P2L:          {:>12} cycles, {:>8} KB memory traffic  ({:.0}% less time)",
+        mda.cycles,
+        mda.llc_memory_bytes() / 1024,
+        (1.0 - mda.normalized_cycles(&base)) * 100.0
+    );
+}
