@@ -3,18 +3,27 @@
 //!
 //! ```text
 //! figures <experiment|all> [--scale tiny|scaled|paper] [--csv DIR]
+//!         [--jobs N] [--bench-timings]
 //!
 //! experiments: table1 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17
 //!              ablation ext_tiling
 //!
 //! --csv DIR additionally writes every table-shaped figure as CSV files
 //! under DIR (for external plotting).
+//!
+//! --jobs N runs each experiment's simulation cells on N worker threads
+//! (default: the machine's cores, or the MDA_JOBS environment variable).
+//! Output is byte-identical regardless of N; --jobs 1 is the sequential
+//! harness.
+//!
+//! --bench-timings additionally writes BENCH_harness.json with per-
+//! experiment wall-clock seconds, cell counts and the worker count.
 //! ```
 
 use mda_bench::experiments::{
     ablation, ext_energy, ext_multicore, ext_tiling, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, table1,
 };
-use mda_bench::Scale;
+use mda_bench::{parallel, Scale};
 use std::time::Instant;
 
 const EXPERIMENTS: [&str; 13] = [
@@ -24,7 +33,7 @@ const EXPERIMENTS: [&str; 13] = [
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures <{}|all> [--scale tiny|scaled|paper] [--csv DIR]",
+        "usage: figures <{}|all> [--scale tiny|scaled|paper] [--csv DIR] [--jobs N] [--bench-timings]",
         EXPERIMENTS.join("|")
     );
     std::process::exit(2);
@@ -73,7 +82,7 @@ fn run_csv(name: &str, scale: Scale, dir: &std::path::Path) {
     }
 }
 
-fn run_one(name: &str, scale: Scale) {
+fn run_one(name: &str, scale: Scale) -> f64 {
     let t0 = Instant::now();
     let out = match name {
         "table1" => table1::render(scale),
@@ -95,7 +104,9 @@ fn run_one(name: &str, scale: Scale) {
         }
     };
     println!("{out}");
-    eprintln!("[{name} completed in {:.1}s]\n", t0.elapsed().as_secs_f64());
+    let seconds = t0.elapsed().as_secs_f64();
+    eprintln!("[{name} completed in {seconds:.1}s]\n");
+    seconds
 }
 
 fn main() {
@@ -103,6 +114,7 @@ fn main() {
     let mut scale = Scale::Scaled;
     let mut targets: Vec<String> = Vec::new();
     let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut bench_entries: Option<Vec<String>> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -120,6 +132,17 @@ fn main() {
                 let Some(v) = it.next() else { usage() };
                 csv_dir = Some(std::path::PathBuf::from(v));
             }
+            "--jobs" => {
+                let Some(v) = it.next() else { usage() };
+                match v.parse::<usize>() {
+                    Ok(n) if n > 0 => parallel::set_jobs(n),
+                    _ => {
+                        eprintln!("--jobs expects a positive integer, got '{v}'");
+                        usage()
+                    }
+                }
+            }
+            "--bench-timings" => bench_entries = Some(Vec::new()),
             "--help" | "-h" => usage(),
             other => targets.push(other.to_string()),
         }
@@ -138,9 +161,26 @@ fn main() {
     }
     eprintln!("scale: {scale}\n");
     for t in &targets {
-        run_one(t, scale);
+        parallel::take_cell_count();
+        let seconds = run_one(t, scale);
+        let cells = parallel::take_cell_count();
+        if let Some(entries) = &mut bench_entries {
+            entries.push(format!(
+                "  {{\"experiment\": \"{t}\", \"scale\": \"{scale}\", \"seconds\": {seconds:.3}, \
+                 \"cells\": {cells}, \"jobs\": {}}}",
+                parallel::jobs()
+            ));
+        }
         if let Some(dir) = &csv_dir {
             run_csv(t, scale, dir);
+        }
+    }
+    if let Some(entries) = bench_entries {
+        let path = "BENCH_harness.json";
+        let json = format!("[\n{}\n]\n", entries.join(",\n"));
+        match std::fs::write(path, json) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
         }
     }
 }

@@ -2,7 +2,7 @@
 //! range for one kernel, printing normalized cycles per design.
 //!
 //! ```text
-//! sweep <parameter> [--kernel sgemm] [--scale tiny|scaled|paper]
+//! sweep <parameter> [--kernel sgemm] [--scale tiny|scaled|paper] [--jobs N]
 //!
 //! parameters:
 //!   llc        LLC capacity (the Fig. 12 axis, extended)
@@ -12,9 +12,13 @@
 //!   subbuf     open row/column buffers per bank (Sec. IX-B)
 //!   window     core instruction window
 //! ```
+//!
+//! Every point × design cell runs on the worker pool (`--jobs N`, or the
+//! `MDA_JOBS` environment variable; defaults to the machine's cores).
 
-use mda_bench::Scale;
-use mda_sim::{simulate, HierarchyKind, SystemConfig};
+use mda_bench::experiments::run_kernel;
+use mda_bench::{parallel, Scale};
+use mda_sim::{HierarchyKind, SystemConfig};
 use mda_workloads::Kernel;
 
 struct Point {
@@ -23,15 +27,7 @@ struct Point {
 }
 
 fn designs(mut f: impl FnMut(HierarchyKind) -> SystemConfig) -> Vec<(String, SystemConfig)> {
-    [
-        HierarchyKind::Baseline1P1L,
-        HierarchyKind::P1L2DifferentSet,
-        HierarchyKind::P1L2SameSet,
-        HierarchyKind::P2L2Sparse,
-    ]
-    .into_iter()
-    .map(|k| (k.name().to_string(), f(k)))
-    .collect()
+    mda_bench::designs().into_iter().map(|k| (k.name().to_string(), f(k))).collect()
 }
 
 fn points(param: &str, scale: Scale) -> Result<Vec<Point>, String> {
@@ -126,6 +122,13 @@ fn main() {
                     std::process::exit(2);
                 })
             }
+            "--jobs" => {
+                let n = it.next().unwrap_or_default().parse::<usize>().unwrap_or_else(|_| {
+                    eprintln!("--jobs expects a positive integer");
+                    std::process::exit(2);
+                });
+                parallel::set_jobs(n);
+            }
             p if param.is_none() => param = Some(p.to_string()),
             other => {
                 eprintln!("unexpected argument '{other}'");
@@ -134,7 +137,9 @@ fn main() {
         }
     }
     let Some(param) = param else {
-        eprintln!("usage: sweep <llc|mshrs|channels|prefetch|subbuf|window> [--kernel K] [--scale S]");
+        eprintln!(
+            "usage: sweep <llc|mshrs|channels|prefetch|subbuf|window> [--kernel K] [--scale S] [--jobs N]"
+        );
         std::process::exit(2);
     };
     let pts = points(&param, scale).unwrap_or_else(|e| {
@@ -142,7 +147,15 @@ fn main() {
         std::process::exit(2);
     });
 
-    let src = kernel.build(scale.input());
+    // Flatten every point × design cell and fan out across the worker
+    // pool; results come back in input order, so printing stays identical
+    // to the sequential sweep.
+    let n = scale.input();
+    let all_cfgs: Vec<SystemConfig> =
+        pts.iter().flat_map(|p| p.cfgs.iter().map(|(_, cfg)| cfg.clone())).collect();
+    let cycles = parallel::par_map(&all_cfgs, |cfg| run_kernel(kernel, n, cfg).cycles);
+    let mut cell = cycles.into_iter();
+
     println!("sweep of {param} — {kernel} at {scale} scale, cycles normalized to each point's 1P1L\n");
     print!("{:>16}", "");
     for (name, _) in &pts[0].cfgs {
@@ -152,13 +165,13 @@ fn main() {
     for p in pts {
         print!("{:>16}", p.label);
         let mut base = 1u64;
-        for (name, cfg) in &p.cfgs {
-            let r = simulate(src.as_ref(), cfg);
+        for (name, _) in &p.cfgs {
+            let cycles = cell.next().expect("one result per cell");
             if name == "1P1L" {
-                base = r.cycles;
-                print!("  {:>14}", r.cycles);
+                base = cycles;
+                print!("  {cycles:>14}");
             } else {
-                print!("  {:>14.3}", r.cycles as f64 / base as f64);
+                print!("  {:>14.3}", cycles as f64 / base as f64);
             }
         }
         println!();

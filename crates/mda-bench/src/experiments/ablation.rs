@@ -11,7 +11,7 @@
 //!   ("given the large transfer unit … we directly explore a variant that
 //!   supports sparse occupancy"); this ablation shows why.
 
-use crate::experiments::{run_kernel, FigureTable};
+use crate::experiments::{run_grid, FigureTable};
 use crate::scale::Scale;
 use mda_compiler::CodegenOptions;
 use mda_sim::HierarchyKind;
@@ -26,16 +26,17 @@ pub fn layout_mismatch(scale: Scale) -> FigureTable {
         format!("Ablation — 1P1L on a 2-D-optimized layout, normalized cycles ({n}×{n})"),
         kernels,
     );
-    let baselines: Vec<u64> = Kernel::all()
-        .iter()
-        .map(|k| run_kernel(*k, n, &scale.system(HierarchyKind::Baseline1P1L)).cycles)
-        .collect();
     let mut mismatched_cfg = scale.system(HierarchyKind::Baseline1P1L);
     mismatched_cfg.codegen = CodegenOptions::baseline_on_mda_layout();
-    let values: Vec<f64> = Kernel::all()
+    let configs = [
+        ("base".to_string(), scale.system(HierarchyKind::Baseline1P1L)),
+        ("1P1L-on-2D-layout".to_string(), mismatched_cfg),
+    ];
+    let reports = run_grid("ablation_layout", n, &configs);
+    let values: Vec<f64> = reports[1]
         .iter()
-        .zip(&baselines)
-        .map(|(k, base)| run_kernel(*k, n, &mismatched_cfg).cycles as f64 / (*base).max(1) as f64)
+        .zip(&reports[0])
+        .map(|(r, base)| r.cycles as f64 / base.cycles.max(1) as f64)
         .collect();
     fig.push_series("1P1L-on-2D-layout", values);
     fig
@@ -50,17 +51,15 @@ pub fn dense_fill(scale: Scale) -> FigureTable {
         format!("Ablation — sparse vs dense 2P2L fill, normalized cycles ({n}×{n})"),
         kernels,
     );
-    let baselines: Vec<u64> = Kernel::all()
-        .iter()
-        .map(|k| run_kernel(*k, n, &scale.system(HierarchyKind::Baseline1P1L)).cycles)
-        .collect();
-    for kind in [HierarchyKind::P2L2Sparse, HierarchyKind::P2L2Dense] {
-        let values: Vec<f64> = Kernel::all()
+    let plotted = [HierarchyKind::P2L2Sparse, HierarchyKind::P2L2Dense];
+    let mut configs = vec![("base".to_string(), scale.system(HierarchyKind::Baseline1P1L))];
+    configs.extend(plotted.iter().map(|kind| (kind.name().to_string(), scale.system(*kind))));
+    let reports = run_grid("ablation_dense", n, &configs);
+    for (kind, chunk) in plotted.iter().zip(&reports[1..]) {
+        let values: Vec<f64> = chunk
             .iter()
-            .zip(&baselines)
-            .map(|(k, base)| {
-                run_kernel(*k, n, &scale.system(kind)).cycles as f64 / (*base).max(1) as f64
-            })
+            .zip(&reports[0])
+            .map(|(r, base)| r.cycles as f64 / base.cycles.max(1) as f64)
             .collect();
         fig.push_series(kind.name(), values);
     }
@@ -80,16 +79,24 @@ pub fn sub_row_buffers(scale: Scale) -> FigureTable {
         format!("Ablation — 4 sub-row buffers per bank, cycles normalized to 1 buffer ({n}×{n})"),
         kernels,
     );
-    for kind in [HierarchyKind::Baseline1P1L, HierarchyKind::P1L2DifferentSet] {
-        let values: Vec<f64> = Kernel::all()
+    let kinds = [HierarchyKind::Baseline1P1L, HierarchyKind::P1L2DifferentSet];
+    let configs: Vec<(String, mda_sim::SystemConfig)> = kinds
+        .iter()
+        .flat_map(|kind| {
+            let mut multi_cfg = scale.system(*kind);
+            multi_cfg.mem.sub_buffers = 4;
+            [
+                (format!("{}+1buf", kind.name()), scale.system(*kind)),
+                (format!("{}+4buf", kind.name()), multi_cfg),
+            ]
+        })
+        .collect();
+    let reports = run_grid("ablation_subbuf", n, &configs);
+    for (kind, pair) in kinds.iter().zip(reports.chunks(2)) {
+        let values: Vec<f64> = pair[1]
             .iter()
-            .map(|k| {
-                let single = run_kernel(*k, n, &scale.system(kind)).cycles;
-                let mut multi_cfg = scale.system(kind);
-                multi_cfg.mem.sub_buffers = 4;
-                let multi = run_kernel(*k, n, &multi_cfg).cycles;
-                multi as f64 / single.max(1) as f64
-            })
+            .zip(&pair[0])
+            .map(|(multi, single)| multi.cycles as f64 / single.cycles.max(1) as f64)
             .collect();
         fig.push_series(format!("{}+4buf", kind.name()), values);
     }
@@ -108,17 +115,15 @@ pub fn taxonomy_2p1l(scale: Scale) -> FigureTable {
         format!("Ablation — 2P1L taxonomy point, normalized cycles ({n}×{n})"),
         kernels,
     );
-    let baselines: Vec<u64> = Kernel::all()
-        .iter()
-        .map(|k| run_kernel(*k, n, &scale.system(HierarchyKind::Baseline1P1L)).cycles)
-        .collect();
-    for kind in [HierarchyKind::P2L1, HierarchyKind::P2L2Sparse] {
-        let values: Vec<f64> = Kernel::all()
+    let plotted = [HierarchyKind::P2L1, HierarchyKind::P2L2Sparse];
+    let mut configs = vec![("base".to_string(), scale.system(HierarchyKind::Baseline1P1L))];
+    configs.extend(plotted.iter().map(|kind| (kind.name().to_string(), scale.system(*kind))));
+    let reports = run_grid("ablation_2p1l", n, &configs);
+    for (kind, chunk) in plotted.iter().zip(&reports[1..]) {
+        let values: Vec<f64> = chunk
             .iter()
-            .zip(&baselines)
-            .map(|(k, base)| {
-                run_kernel(*k, n, &scale.system(kind)).cycles as f64 / (*base).max(1) as f64
-            })
+            .zip(&reports[0])
+            .map(|(r, base)| r.cycles as f64 / base.cycles.max(1) as f64)
             .collect();
         fig.push_series(kind.name(), values);
     }

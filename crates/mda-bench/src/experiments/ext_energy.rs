@@ -6,7 +6,7 @@
 //! counts with an STT-class [`EnergyModel`] and reports each design's
 //! memory-system energy normalized to the prefetching baseline.
 
-use crate::experiments::{run_kernel, FigureTable};
+use crate::experiments::{run_grid, FigureTable};
 use crate::fig11::PLOTTED;
 use crate::scale::Scale;
 use mda_sim::{EnergyModel, HierarchyKind};
@@ -21,20 +21,15 @@ pub fn run(scale: Scale) -> FigureTable {
         format!("Extension — memory-system energy normalized to 1P1L+prefetch ({n}×{n})"),
         kernels,
     );
-    let baselines: Vec<f64> = Kernel::all()
-        .iter()
-        .map(|k| {
-            model.memory_energy_nj(&run_kernel(*k, n, &scale.system(HierarchyKind::Baseline1P1L)))
-        })
-        .collect();
-    for kind in PLOTTED {
-        let values: Vec<f64> = Kernel::all()
+    let mut configs = vec![("base".to_string(), scale.system(HierarchyKind::Baseline1P1L))];
+    configs.extend(PLOTTED.iter().map(|kind| (kind.name().to_string(), scale.system(*kind))));
+    let reports = run_grid("ext_energy", n, &configs);
+    let baselines: Vec<f64> = reports[0].iter().map(|r| model.memory_energy_nj(r)).collect();
+    for (kind, chunk) in PLOTTED.iter().zip(&reports[1..]) {
+        let values: Vec<f64> = chunk
             .iter()
             .zip(&baselines)
-            .map(|(k, base)| {
-                let e = model.memory_energy_nj(&run_kernel(*k, n, &scale.system(kind)));
-                e / base.max(1e-9)
-            })
+            .map(|(r, base)| model.memory_energy_nj(r) / base.max(1e-9))
             .collect();
         fig.push_series(kind.name(), values);
     }

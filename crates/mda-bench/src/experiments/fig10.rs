@@ -26,14 +26,16 @@ pub struct MixRow {
 /// sizes (the paper's 256×256 and 512×512 panels).
 pub fn run(scale: Scale) -> Vec<MixRow> {
     let opts = CodegenOptions::mda();
-    let mut rows = Vec::new();
-    for n in [scale.small_input(), scale.input()] {
-        for k in Kernel::all() {
-            let src = k.build(n);
-            rows.push(MixRow { kernel: k.name().into(), n, mix: access_mix(src.as_ref(), &opts) });
-        }
-    }
-    rows
+    // Trace generation dominates here; each (size, kernel) pair is an
+    // independent cell, fanned out across the worker pool.
+    let inputs: Vec<(u64, Kernel)> = [scale.small_input(), scale.input()]
+        .into_iter()
+        .flat_map(|n| Kernel::all().map(|k| (n, k)))
+        .collect();
+    crate::parallel::par_map(&inputs, |(n, k)| {
+        let src = k.build(*n);
+        MixRow { kernel: k.name().into(), n: *n, mix: access_mix(src.as_ref(), &opts) }
+    })
 }
 
 /// Renders the figure.

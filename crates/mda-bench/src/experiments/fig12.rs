@@ -2,7 +2,7 @@
 //! for the four LLC capacities of the sweep (paper: 1 / 1.5 / 2 / 4 MB with
 //! 512×512 inputs).
 
-use crate::experiments::{run_kernel, FigureTable};
+use crate::experiments::{run_grid, FigureTable};
 use crate::fig11::PLOTTED;
 use crate::scale::Scale;
 use mda_sim::HierarchyKind;
@@ -21,20 +21,15 @@ pub fn run_one(scale: Scale, llc: u64) -> FigureTable {
         format!("Fig. 12 — normalized total cycles, LLC = {} KB ({n}×{n})", llc / 1024),
         kernels,
     );
-    let baselines: Vec<u64> = Kernel::all()
-        .iter()
-        .map(|k| {
-            run_kernel(*k, n, &scale.system_with_llc(HierarchyKind::Baseline1P1L, llc)).cycles
-        })
-        .collect();
-    for kind in PLOTTED {
-        let values: Vec<f64> = Kernel::all()
+    let mut configs = vec![("base".to_string(), scale.system_with_llc(HierarchyKind::Baseline1P1L, llc))];
+    configs.extend(PLOTTED.iter().map(|kind| (kind.name().to_string(), scale.system_with_llc(*kind, llc))));
+    let reports = run_grid("fig12", n, &configs);
+    let baselines: Vec<u64> = reports[0].iter().map(|r| r.cycles).collect();
+    for (kind, chunk) in PLOTTED.iter().zip(&reports[1..]) {
+        let values: Vec<f64> = chunk
             .iter()
             .zip(&baselines)
-            .map(|(k, base)| {
-                let cycles = run_kernel(*k, n, &scale.system_with_llc(kind, llc)).cycles;
-                cycles as f64 / (*base).max(1) as f64
-            })
+            .map(|(r, base)| r.cycles as f64 / (*base).max(1) as f64)
             .collect();
         fig.push_series(kind.name(), values);
     }

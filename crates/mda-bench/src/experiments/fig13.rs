@@ -6,7 +6,7 @@
 //! vectorization and L1↔L2 traffic, so the paper sees much smaller (but
 //! still positive) reductions than in Fig. 12.
 
-use crate::experiments::{run_kernel, FigureTable};
+use crate::experiments::{run_grid, FigureTable};
 use crate::scale::Scale;
 use mda_sim::HierarchyKind;
 use mda_workloads::Kernel;
@@ -25,20 +25,15 @@ pub fn run(scale: Scale) -> FigureTable {
         ),
         kernels,
     );
-    let baselines: Vec<u64> = Kernel::all()
-        .iter()
-        .map(|k| {
-            run_kernel(*k, n, &scale.cache_resident_system(HierarchyKind::Baseline1P1L)).cycles
-        })
-        .collect();
-    for kind in PLOTTED {
-        let values: Vec<f64> = Kernel::all()
+    let mut configs = vec![("base".to_string(), scale.cache_resident_system(HierarchyKind::Baseline1P1L))];
+    configs.extend(PLOTTED.iter().map(|kind| (kind.name().to_string(), scale.cache_resident_system(*kind))));
+    let reports = run_grid("fig13", n, &configs);
+    let baselines: Vec<u64> = reports[0].iter().map(|r| r.cycles).collect();
+    for (kind, chunk) in PLOTTED.iter().zip(&reports[1..]) {
+        let values: Vec<f64> = chunk
             .iter()
             .zip(&baselines)
-            .map(|(k, base)| {
-                let cycles = run_kernel(*k, n, &scale.cache_resident_system(kind)).cycles;
-                cycles as f64 / (*base).max(1) as f64
-            })
+            .map(|(r, base)| r.cycles as f64 / (*base).max(1) as f64)
             .collect();
         fig.push_series(kind.name(), values);
     }

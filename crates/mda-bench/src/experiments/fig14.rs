@@ -6,7 +6,7 @@
 //! to the same column into one column access, and column transfers stop
 //! fetching 64 bytes per useful word.
 
-use crate::experiments::{run_kernel, FigureTable};
+use crate::experiments::{run_grid, FigureTable};
 use crate::fig11::PLOTTED;
 use crate::scale::Scale;
 use mda_sim::HierarchyKind;
@@ -32,18 +32,14 @@ pub fn run(scale: Scale) -> Fig14 {
         kernels,
     );
 
-    let base: Vec<(u64, u64)> = Kernel::all()
-        .iter()
-        .map(|k| {
-            let r = run_kernel(*k, n, &scale.system(HierarchyKind::Baseline1P1L));
-            (r.llc_accesses(), r.llc_memory_bytes())
-        })
-        .collect();
-    for kind in PLOTTED {
+    let mut configs = vec![("base".to_string(), scale.system(HierarchyKind::Baseline1P1L))];
+    configs.extend(PLOTTED.iter().map(|kind| (kind.name().to_string(), scale.system(*kind))));
+    let reports = run_grid("fig14", n, &configs);
+    let base: Vec<(u64, u64)> = reports[0].iter().map(|r| (r.llc_accesses(), r.llc_memory_bytes())).collect();
+    for (kind, chunk) in PLOTTED.iter().zip(&reports[1..]) {
         let mut acc_vals = Vec::new();
         let mut byte_vals = Vec::new();
-        for (k, (base_acc, base_bytes)) in Kernel::all().iter().zip(&base) {
-            let r = run_kernel(*k, n, &scale.system(kind));
+        for (r, (base_acc, base_bytes)) in chunk.iter().zip(&base) {
             acc_vals.push(r.llc_accesses() as f64 / (*base_acc).max(1) as f64);
             byte_vals.push(r.llc_memory_bytes() as f64 / (*base_bytes).max(1) as f64);
         }

@@ -30,20 +30,17 @@ pub const PLOTTED: [Kernel; 2] = [Kernel::Sgemm, Kernel::Ssyrk];
 /// Runs the occupancy study on the 1P2L hierarchy.
 pub fn run(scale: Scale) -> Vec<KernelTimeline> {
     let n = scale.input();
-    PLOTTED
-        .iter()
-        .map(|k| {
-            let cfg = scale
-                .system(HierarchyKind::P1L2DifferentSet)
-                .with_occupancy_sampling(sample_interval(scale));
-            let r = run_kernel(*k, n, &cfg);
-            KernelTimeline {
-                kernel: k.name().into(),
-                levels: cfg.num_levels(),
-                timeline: r.occupancy,
-            }
-        })
-        .collect()
+    crate::parallel::par_map(&PLOTTED, |k| {
+        let cfg = scale
+            .system(HierarchyKind::P1L2DifferentSet)
+            .with_occupancy_sampling(sample_interval(scale));
+        let r = run_kernel(*k, n, &cfg);
+        KernelTimeline {
+            kernel: k.name().into(),
+            levels: cfg.num_levels(),
+            timeline: r.occupancy,
+        }
+    })
 }
 
 fn sample_interval(scale: Scale) -> u64 {

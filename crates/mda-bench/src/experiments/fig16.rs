@@ -5,7 +5,7 @@
 //! cycles and finds only a small (≈0.4% average) degradation, because LLC
 //! writes (fills and writebacks) are largely off the critical path.
 
-use crate::experiments::{run_kernel, FigureTable};
+use crate::experiments::{run_grid, FigureTable};
 use crate::scale::Scale;
 use mda_sim::HierarchyKind;
 use mda_workloads::Kernel;
@@ -22,28 +22,26 @@ pub fn run(scale: Scale) -> FigureTable {
         format!("Fig. 16 — 2P2L write asymmetry (+{SLOW_WRITE_CYCLES} cycles), normalized cycles ({n}×{n})"),
         kernels,
     );
-    let baselines: Vec<u64> = Kernel::all()
-        .iter()
-        .map(|k| run_kernel(*k, n, &scale.system(HierarchyKind::Baseline1P1L)).cycles)
-        .collect();
-
-    let variants: [(&str, mda_sim::SystemConfig); 3] = [
-        ("1P2L", scale.system(HierarchyKind::P1L2DifferentSet)),
-        ("2P2L", scale.system(HierarchyKind::P2L2Sparse)),
+    let configs = [
+        ("base".to_string(), scale.system(HierarchyKind::Baseline1P1L)),
+        ("1P2L".to_string(), scale.system(HierarchyKind::P1L2DifferentSet)),
+        ("2P2L".to_string(), scale.system(HierarchyKind::P2L2Sparse)),
         (
-            "2P2L-Slow_Write",
+            "2P2L-Slow_Write".to_string(),
             scale
                 .system(HierarchyKind::P2L2Sparse)
                 .with_llc_write_penalty(SLOW_WRITE_CYCLES),
         ),
     ];
-    for (name, cfg) in variants {
-        let values: Vec<f64> = Kernel::all()
+    let reports = run_grid("fig16", n, &configs);
+    let baselines: Vec<u64> = reports[0].iter().map(|r| r.cycles).collect();
+    for ((name, _), chunk) in configs.iter().zip(&reports).skip(1) {
+        let values: Vec<f64> = chunk
             .iter()
             .zip(&baselines)
-            .map(|(k, base)| run_kernel(*k, n, &cfg).cycles as f64 / (*base).max(1) as f64)
+            .map(|(r, base)| r.cycles as f64 / (*base).max(1) as f64)
             .collect();
-        fig.push_series(name, values);
+        fig.push_series(name.clone(), values);
     }
     fig
 }

@@ -6,7 +6,7 @@
 //! MDA memory still beat a conventional hierarchy on a faster conventional
 //! memory (yes — 1P2L on base memory beats 1P1L-fast)?
 
-use crate::experiments::{run_kernel, FigureTable};
+use crate::experiments::{run_grid, FigureTable};
 use crate::scale::Scale;
 use mda_sim::{HierarchyKind, SystemConfig};
 use mda_workloads::Kernel;
@@ -21,11 +21,6 @@ pub fn run(scale: Scale) -> FigureTable {
         format!("Fig. 17 — sensitivity to a 1.6× faster main memory ({n}×{n})"),
         kernels,
     );
-    let baselines: Vec<u64> = Kernel::all()
-        .iter()
-        .map(|k| run_kernel(*k, n, &scale.system(HierarchyKind::Baseline1P1L)).cycles)
-        .collect();
-
     let variants: Vec<(String, SystemConfig)> = [
         HierarchyKind::Baseline1P1L,
         HierarchyKind::P1L2DifferentSet,
@@ -40,17 +35,17 @@ pub fn run(scale: Scale) -> FigureTable {
     })
     .collect();
 
-    for (name, cfg) in variants {
-        if name == "1P1L" {
-            // That's the normalizer itself; plotting it would be all 1.0.
-            continue;
-        }
-        let values: Vec<f64> = Kernel::all()
+    // The base-speed 1P1L run is the first variant: it supplies the
+    // normalizer and is skipped as a plotted series (all 1.0).
+    let reports = run_grid("fig17", n, &variants);
+    let baselines: Vec<u64> = reports[0].iter().map(|r| r.cycles).collect();
+    for ((name, _), chunk) in variants.iter().zip(&reports).skip(1) {
+        let values: Vec<f64> = chunk
             .iter()
             .zip(&baselines)
-            .map(|(k, base)| run_kernel(*k, n, &cfg).cycles as f64 / (*base).max(1) as f64)
+            .map(|(r, base)| r.cycles as f64 / (*base).max(1) as f64)
             .collect();
-        fig.push_series(name, values);
+        fig.push_series(name.clone(), values);
     }
     fig
 }

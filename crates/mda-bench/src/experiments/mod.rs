@@ -15,8 +15,15 @@ pub mod fig17;
 pub mod table1;
 
 use crate::table::{fmt_ratio, TextTable};
-use mda_sim::{simulate, SimReport, SystemConfig};
+use mda_sim::{simulate, HierarchyKind, SimReport, SystemConfig};
 use mda_workloads::Kernel;
+
+/// The design list shared by the figure experiments and the `sweep`
+/// binary: the prefetching baseline first, then the MDA designs of
+/// Figs. 11–14 ([`fig11::PLOTTED`]).
+pub fn designs() -> Vec<HierarchyKind> {
+    std::iter::once(HierarchyKind::Baseline1P1L).chain(fig11::PLOTTED).collect()
+}
 
 /// A figure rendered as kernels × design-series of normalized values, with
 /// the paper's trailing "Average" column.
@@ -65,6 +72,10 @@ impl FigureTable {
     /// Renders the figure as CSV (kernels as rows, designs as columns,
     /// trailing Average row) for external plotting.
     pub fn to_csv(&self) -> String {
+        use std::fmt::Write as _;
+
+        // Cells are formatted straight into the output buffer: no per-cell
+        // `String` allocation.
         let mut out = String::from("kernel");
         for (d, _) in &self.series {
             out.push(',');
@@ -74,13 +85,13 @@ impl FigureTable {
         for (k, kernel) in self.kernels.iter().enumerate() {
             out.push_str(kernel);
             for (_, vals) in &self.series {
-                out.push_str(&format!(",{:.6}", vals[k]));
+                let _ = write!(out, ",{:.6}", vals[k]);
             }
             out.push('\n');
         }
         out.push_str("Average");
         for (d, _) in &self.series {
-            out.push_str(&format!(",{:.6}", self.average(d).unwrap_or(0.0)));
+            let _ = write!(out, ",{:.6}", self.average(d).unwrap_or(0.0));
         }
         out.push('\n');
         out
@@ -118,6 +129,23 @@ impl std::fmt::Display for FigureTable {
 pub fn run_kernel(kernel: Kernel, n: u64, cfg: &SystemConfig) -> SimReport {
     let src = kernel.build(n);
     simulate(src.as_ref(), cfg)
+}
+
+/// Expands `(series label, config)` pairs over every kernel at input size
+/// `n`, simulates all cells on the worker pool, and returns one report
+/// chunk per pair, reports in [`Kernel::all`] order.
+///
+/// This is the grid shape shared by most figures: the normalizer series
+/// goes first, so `chunks[0]` holds the baselines.
+pub fn run_grid(figure: &str, n: u64, configs: &[(String, SystemConfig)]) -> Vec<Vec<SimReport>> {
+    let cells: Vec<crate::parallel::Cell> = configs
+        .iter()
+        .flat_map(|(series, cfg)| {
+            Kernel::all().map(|k| crate::parallel::Cell::new(format!("{figure}/{series}/{}", k.name()), k, n, cfg.clone()))
+        })
+        .collect();
+    let mut reports = crate::parallel::run_cells(&cells).into_iter();
+    configs.iter().map(|_| reports.by_ref().take(Kernel::all().len()).collect()).collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,193 @@
+//! Zero-dependency parallel execution for the harness.
+//!
+//! Every `(experiment × kernel × design × config-point)` cell of the
+//! evaluation is an independent, deterministic simulation, so the whole
+//! harness scales with cores. This module provides the fan-out layer the
+//! experiments submit their cells through:
+//!
+//! * [`par_map`] — runs a closure over a slice on a scoped worker pool
+//!   (plain `std::thread::scope`; no external crates) and reassembles the
+//!   results **in input order**, so every table and CSV downstream is
+//!   byte-identical to a sequential run.
+//! * [`Cell`]/[`run_cells`] — the labeled `(kernel, input, system)` unit
+//!   the figure experiments fan out.
+//! * [`jobs`]/[`set_jobs`] — worker-count resolution: an explicit
+//!   [`set_jobs`] override (the `--jobs` CLI flag) beats the `MDA_JOBS`
+//!   environment variable, which beats
+//!   [`std::thread::available_parallelism`]. One job reproduces the
+//!   sequential harness exactly (no worker threads are spawned at all).
+//! * [`take_cell_count`] — a process-wide counter of executed cells, read
+//!   by the `figures` binary's `--bench-timings` mode.
+
+use crate::experiments::run_kernel;
+use mda_sim::{SimReport, SystemConfig};
+use mda_workloads::Kernel;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Explicit worker-count override; 0 means "not set".
+static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Cells executed since the last [`take_cell_count`].
+static CELLS: AtomicU64 = AtomicU64::new(0);
+
+/// Sets the worker count explicitly (the `--jobs N` CLI flag). Passing 0
+/// clears the override.
+pub fn set_jobs(n: usize) {
+    JOBS_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// The worker count used by [`par_map`]: the [`set_jobs`] override if set,
+/// else a positive integer `MDA_JOBS` environment variable, else
+/// [`std::thread::available_parallelism`].
+pub fn jobs() -> usize {
+    let explicit = JOBS_OVERRIDE.load(Ordering::SeqCst);
+    if explicit > 0 {
+        return explicit;
+    }
+    if let Ok(v) = std::env::var("MDA_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Returns the number of cells executed since the previous call, resetting
+/// the counter.
+pub fn take_cell_count() -> u64 {
+    CELLS.swap(0, Ordering::SeqCst)
+}
+
+/// Maps `f` over `items` on [`jobs`] workers, returning results in input
+/// order.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_with(items, jobs(), f)
+}
+
+/// Maps `f` over `items` on an explicit number of workers, returning
+/// results in input order.
+///
+/// With `workers <= 1` (or fewer than two items) the map runs inline on
+/// the calling thread — exactly the sequential harness. Otherwise a scoped
+/// pool of `min(workers, items.len())` threads claims items through a
+/// shared index counter and writes each result into its input slot; a
+/// panicking worker propagates the panic to the caller once the scope
+/// joins.
+pub fn par_map_with<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    CELLS.fetch_add(items.len() as u64, Ordering::SeqCst);
+    let workers = workers.min(items.len());
+    if workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let result = f(item);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("result slot poisoned")
+                .expect("every claimed index writes its slot")
+        })
+        .collect()
+}
+
+/// One simulation cell of an experiment: a labeled kernel × input-size ×
+/// system-configuration point.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Display label, e.g. `fig13/1P2L/sgemm` (diagnostics and timings).
+    pub label: String,
+    /// The kernel to run.
+    pub kernel: Kernel,
+    /// Input size (matrix dimension).
+    pub n: u64,
+    /// The system to run it on.
+    pub config: SystemConfig,
+}
+
+impl Cell {
+    /// Creates a cell.
+    pub fn new(label: impl Into<String>, kernel: Kernel, n: u64, config: SystemConfig) -> Cell {
+        Cell { label: label.into(), kernel, n, config }
+    }
+}
+
+/// Simulates every cell on the worker pool, returning reports in cell
+/// order.
+pub fn run_cells(cells: &[Cell]) -> Vec<SimReport> {
+    par_map(cells, |c| run_kernel(c.kernel, c.n, &c.config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mda_sim::HierarchyKind;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<u64> = (0..103).collect();
+        for workers in [1, 2, 4, 7] {
+            let out = par_map_with(&items, workers, |x| x * 3);
+            assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_workers_runs_inline() {
+        let out = par_map_with(&[1, 2, 3], 0, |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u32> = par_map_with(&[] as &[u32], 8, |x| *x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn run_cells_matches_sequential_run_kernel() {
+        let cfg = SystemConfig::tiny(HierarchyKind::P1L2DifferentSet);
+        let cells: Vec<Cell> = Kernel::all()
+            .iter()
+            .map(|k| Cell::new(k.name(), *k, 24, cfg.clone()))
+            .collect();
+        let parallel = par_map_with(&cells, 4, |c| run_kernel(c.kernel, c.n, &c.config));
+        for (cell, report) in cells.iter().zip(&parallel) {
+            let sequential = run_kernel(cell.kernel, cell.n, &cell.config);
+            assert_eq!(report, &sequential, "{} diverged across threads", cell.label);
+        }
+    }
+
+    #[test]
+    fn cell_counter_accumulates_and_resets() {
+        take_cell_count();
+        par_map_with(&[1, 2, 3], 1, |x| *x);
+        par_map_with(&[1, 2], 2, |x| *x);
+        assert_eq!(take_cell_count(), 5);
+        assert_eq!(take_cell_count(), 0);
+    }
+}

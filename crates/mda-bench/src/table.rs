@@ -31,6 +31,8 @@ impl TextTable {
 
     /// Renders the table with aligned columns.
     pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+
         let cols = self.header.len();
         let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
         for row in &self.rows {
@@ -38,22 +40,23 @@ impl TextTable {
                 widths[i] = widths[i].max(cell.len());
             }
         }
+        // Cells are written straight into the output buffer: no per-cell
+        // `String` or per-row join allocation.
         let mut out = String::new();
-        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-            cells
-                .iter()
-                .zip(widths)
-                .map(|(c, w)| format!("{c:>w$}", w = w))
-                .collect::<Vec<_>>()
-                .join("  ")
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, (cell, width)) in cells.iter().zip(widths.iter().copied()).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>width$}");
+            }
+            out.push('\n');
         };
-        out.push_str(&fmt_row(&self.header, &widths));
-        out.push('\n');
+        write_row(&mut out, &self.header);
         out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1))));
         out.push('\n');
         for row in &self.rows {
-            out.push_str(&fmt_row(row, &widths));
-            out.push('\n');
+            write_row(&mut out, row);
         }
         out
     }

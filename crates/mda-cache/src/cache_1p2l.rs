@@ -182,44 +182,49 @@ impl CacheLevel for Cache1P2L {
 
         match acc.width {
             AccessWidth::Vector => {
-                // Vector hits require the correctly aligned line.
-                let hit = self.present(&preferred);
-                self.stats.note_access(acc, hit);
-                if hit {
-                    if acc.is_write {
+                if acc.is_write {
+                    let hit = self.present(&preferred);
+                    self.stats.note_access(acc, hit);
+                    if hit {
                         // Both orientations must be checked on writes.
                         probe.extra_tag_accesses += self.cross_check_cost(TILE_LINES as u32);
                         let mut wbs = Vec::new();
                         self.write_resident(preferred, 0xFF, &mut wbs);
                         probe.writebacks = wbs;
                     } else {
-                        // Refresh recency.
-                        let set = self.set_of(&preferred);
-                        let _ = self.array.get_mut(set, preferred);
+                        probe.hit = false;
+                        probe.fills = vec![preferred];
+                        probe.extra_tag_accesses += self.cross_check_cost(TILE_LINES as u32);
                     }
                 } else {
-                    // Miss: the up-to-eight intersecting lines of the other
-                    // orientation are checked for dirty data to propagate.
-                    probe.hit = false;
-                    probe.fills = vec![preferred];
-                    probe.extra_tag_accesses += self.cross_check_cost(TILE_LINES as u32);
+                    // Vector hits require the correctly aligned line; one
+                    // `get_mut` both probes and refreshes recency (misses
+                    // leave the LRU clock untouched).
+                    let set = self.set_of(&preferred);
+                    let hit = self.array.get_mut(set, preferred).is_some();
+                    self.stats.note_access(acc, hit);
+                    if !hit {
+                        // Miss: the up-to-eight intersecting lines of the
+                        // other orientation are checked for dirty data to
+                        // propagate.
+                        probe.hit = false;
+                        probe.fills = vec![preferred];
+                        probe.extra_tag_accesses += self.cross_check_cost(TILE_LINES as u32);
+                    }
                 }
             }
             AccessWidth::Scalar => {
-                let off = preferred.offset_of(acc.word).expect("word within preferred line");
-                let other = preferred.intersecting_at(acc.word);
-                let in_preferred = self.present(&preferred);
-                let in_other = self.present(&other);
-
                 if acc.is_write {
+                    let off = preferred.offset_of(acc.word).expect("word within preferred line");
+                    let other = preferred.intersecting_at(acc.word);
                     // Writes always check both orientations.
                     probe.extra_tag_accesses += self.cross_check_cost(1);
-                    if in_preferred {
+                    if self.present(&preferred) {
                         let mut wbs = Vec::new();
                         self.write_resident(preferred, 1 << off, &mut wbs);
                         probe.writebacks = wbs;
                         self.stats.note_access(acc, true);
-                    } else if in_other {
+                    } else if self.present(&other) {
                         // Mis-oriented write hit: the word's sole copy lives
                         // in the other orientation; modify it there.
                         let other_off =
@@ -234,23 +239,28 @@ impl CacheLevel for Cache1P2L {
                         probe.fills = vec![preferred];
                         self.stats.note_access(acc, false);
                     }
-                } else if in_preferred {
-                    let set = self.set_of(&preferred);
-                    let _ = self.array.get_mut(set, preferred);
-                    self.stats.note_access(acc, true);
-                } else if in_other {
-                    // Hit in the non-preferred orientation after a preferred
-                    // miss: one extra sequential tag access (Different-Set).
-                    probe.extra_tag_accesses += self.cross_check_cost(1);
-                    let set = self.set_of(&other);
-                    let _ = self.array.get_mut(set, other);
-                    self.stats.misoriented_hits += 1;
-                    self.stats.note_access(acc, true);
                 } else {
-                    probe.hit = false;
-                    probe.fills = vec![preferred];
-                    probe.extra_tag_accesses += self.cross_check_cost(1);
-                    self.stats.note_access(acc, false);
+                    // Reads probe the preferred orientation with a single
+                    // scan that also refreshes recency on a hit.
+                    let pref_set = self.set_of(&preferred);
+                    if self.array.get_mut(pref_set, preferred).is_some() {
+                        self.stats.note_access(acc, true);
+                    } else {
+                        // Hit in the non-preferred orientation after a
+                        // preferred miss costs one extra sequential tag
+                        // access (Different-Set).
+                        probe.extra_tag_accesses += self.cross_check_cost(1);
+                        let other = preferred.intersecting_at(acc.word);
+                        let other_set = self.set_of(&other);
+                        if self.array.get_mut(other_set, other).is_some() {
+                            self.stats.misoriented_hits += 1;
+                            self.stats.note_access(acc, true);
+                        } else {
+                            probe.hit = false;
+                            probe.fills = vec![preferred];
+                            self.stats.note_access(acc, false);
+                        }
+                    }
                 }
             }
         }

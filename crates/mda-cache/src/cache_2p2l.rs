@@ -168,28 +168,41 @@ impl CacheLevel for Cache2P2L {
         let set = self.set_of(acc.word.tile());
         let preferred = acc.preferred_line();
 
+        // One set scan classifies the access, refreshes recency, and (on a
+        // write hit) marks dirty bits through the same borrow; the metadata
+        // is tiny and `Copy`, so the miss path keeps a snapshot for
+        // `fill_lines` instead of re-scanning the set.
+        let mut resident = None;
         let (hit, covered) = match self.array.get_mut(set, acc.word.tile()) {
             None => (false, false),
-            Some(meta) => match acc.width {
-                AccessWidth::Scalar => {
-                    let present = meta.word_present(acc.word.row_in_tile(), acc.word.col_in_tile());
-                    let aligned = meta.valid(preferred.orient, preferred.idx);
-                    (present, present && !aligned)
-                }
-                AccessWidth::Vector => {
-                    if meta.valid(preferred.orient, preferred.idx) {
-                        (true, false)
-                    } else {
-                        // Partial hit: every word covered by intersecting
-                        // lines of the other orientation.
-                        let covered = match preferred.orient {
-                            Orientation::Row => meta.col_valid == 0xFF,
-                            Orientation::Col => meta.row_valid == 0xFF,
-                        };
-                        (covered, covered)
+            Some(meta) => {
+                let classified = match acc.width {
+                    AccessWidth::Scalar => {
+                        let present =
+                            meta.word_present(acc.word.row_in_tile(), acc.word.col_in_tile());
+                        let aligned = meta.valid(preferred.orient, preferred.idx);
+                        (present, present && !aligned)
                     }
+                    AccessWidth::Vector => {
+                        if meta.valid(preferred.orient, preferred.idx) {
+                            (true, false)
+                        } else {
+                            // Partial hit: every word covered by intersecting
+                            // lines of the other orientation.
+                            let covered = match preferred.orient {
+                                Orientation::Row => meta.col_valid == 0xFF,
+                                Orientation::Col => meta.row_valid == 0xFF,
+                            };
+                            (covered, covered)
+                        }
+                    }
+                };
+                if classified.0 && acc.is_write {
+                    Self::mark_dirty(meta, acc);
                 }
-            },
+                resident = Some(*meta);
+                classified
+            }
         };
 
         self.stats.note_access(acc, hit);
@@ -197,20 +210,12 @@ impl CacheLevel for Cache2P2L {
             self.stats.misoriented_hits += 1;
         }
         if hit {
-            if acc.is_write {
-                let meta = self
-                    .array
-                    .get_mut(set, acc.word.tile())
-                    .expect("hit implies resident block");
-                Self::mark_dirty(meta, acc);
-            }
             Probe::hit()
         } else {
-            let meta = self.array.peek(set, acc.word.tile());
             Probe {
                 hit: false,
                 extra_tag_accesses: 0,
-                fills: self.fill_lines(preferred, meta),
+                fills: self.fill_lines(preferred, resident.as_ref()),
                 writebacks: Vec::new(),
             }
         }

@@ -48,16 +48,19 @@ impl<K: Copy + Eq, M> SetArray<K, M> {
     }
 
     /// Looks up `key` in `set`, updating recency on hit.
+    ///
+    /// The LRU clock only advances on a hit: a miss leaves recency state
+    /// untouched, so long miss streaks cannot skew the victim ordering.
     pub fn get_mut(&mut self, set: usize, key: K) -> Option<&mut M> {
-        self.clock += 1;
-        let clock = self.clock;
         let range = self.set_range(set);
+        let clock = &mut self.clock;
         self.ways[range]
             .iter_mut()
             .flatten()
             .find(|e| e.key == key)
-            .map(|e| {
-                e.last_use = clock;
+            .map(move |e| {
+                *clock += 1;
+                e.last_use = *clock;
                 &mut e.meta
             })
     }
@@ -75,22 +78,36 @@ impl<K: Copy + Eq, M> SetArray<K, M> {
         let clock = self.clock;
         let range = self.set_range(set);
 
-        // Replace in place if present.
-        if let Some(e) = self.ways[range.clone()].iter_mut().flatten().find(|e| e.key == key) {
-            e.meta = meta;
-            e.last_use = clock;
+        // One pass over the set: replace in place if present, otherwise
+        // remember the first free way and the LRU victim (first entry with
+        // the minimal `last_use`, matching the previous multi-pass scan).
+        let mut free = None;
+        let mut victim_idx = range.start;
+        let mut victim_last_use = u64::MAX;
+        for i in range {
+            match &mut self.ways[i] {
+                Some(e) if e.key == key => {
+                    e.meta = meta;
+                    e.last_use = clock;
+                    return None;
+                }
+                Some(e) => {
+                    if e.last_use < victim_last_use {
+                        victim_last_use = e.last_use;
+                        victim_idx = i;
+                    }
+                }
+                None => {
+                    if free.is_none() {
+                        free = Some(i);
+                    }
+                }
+            }
+        }
+        if let Some(i) = free {
+            self.ways[i] = Some(Entry { key, meta, last_use: clock });
             return None;
         }
-        // Free way?
-        if let Some(slot) = self.ways[range.clone()].iter_mut().find(|w| w.is_none()) {
-            *slot = Some(Entry { key, meta, last_use: clock });
-            return None;
-        }
-        // Evict LRU.
-        let victim_idx = range
-            .clone()
-            .min_by_key(|i| self.ways[*i].as_ref().map(|e| e.last_use).unwrap_or(0))
-            .expect("non-zero associativity");
         let victim = self.ways[victim_idx].take().expect("victim way occupied");
         self.ways[victim_idx] = Some(Entry { key, meta, last_use: clock });
         Some((victim.key, victim.meta))
@@ -154,6 +171,24 @@ mod tests {
         assert_eq!(evicted, Some((2, ())));
         assert!(a.peek(0, 1).is_some());
         assert!(a.peek(0, 3).is_some());
+    }
+
+    #[test]
+    fn miss_streaks_do_not_perturb_lru_victim_choice() {
+        let mut a: SetArray<u64, ()> = SetArray::new(1, 2);
+        a.insert(0, 1, ());
+        a.insert(0, 2, ());
+        // Touch 1 so 2 is LRU, then hammer the set with misses: dead
+        // lookups must not advance the clock or reorder recency.
+        a.get_mut(0, 1);
+        let clock_sensitive_misses = 1000;
+        for k in 0..clock_sensitive_misses {
+            assert!(a.get_mut(0, 100 + k).is_none());
+        }
+        assert_eq!(a.insert(0, 3, ()), Some((2, ())), "2 stays the LRU victim");
+        // After evicting 2, entry 1 (touched before the miss streak) is
+        // older than 3 and must be the next victim.
+        assert_eq!(a.insert(0, 4, ()), Some((1, ())));
     }
 
     #[test]

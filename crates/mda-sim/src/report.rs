@@ -76,20 +76,25 @@ impl SimReport {
 impl SimReport {
     /// Renders a human-readable multi-line summary of the run.
     pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+
+        // `write!` into one buffer: no intermediate `String` per line.
         let mut out = String::new();
-        out.push_str(&format!(
-            "{} on {}: {} cycles, {} memory µops ({} vector), {} compute µops\n",
+        let _ = writeln!(
+            out,
+            "{} on {}: {} cycles, {} memory µops ({} vector), {} compute µops",
             self.workload,
             self.design,
             self.cycles,
             self.ops.mem_ops,
             self.ops.vector_mem_ops,
             self.ops.compute_uops
-        ));
+        );
         for (i, lvl) in self.levels.iter().enumerate() {
-            out.push_str(&format!(
+            let _ = writeln!(
+                out,
                 "  L{}: {:>10} accesses, {:>5.1}% hits, {:>8} fills ({} prefetch), \
-                 {:>6} KB from below, {:>6} KB to below\n",
+                 {:>6} KB from below, {:>6} KB to below",
                 i + 1,
                 lvl.accesses,
                 lvl.hit_rate() * 100.0,
@@ -97,17 +102,18 @@ impl SimReport {
                 lvl.prefetch_fills,
                 lvl.bytes_from_below / 1024,
                 lvl.bytes_to_below / 1024,
-            ));
+            );
         }
-        out.push_str(&format!(
-            "  mem: {} reads ({} row / {} col, {:.1}% buffer hits), {} writes, {} KB total\n",
+        let _ = writeln!(
+            out,
+            "  mem: {} reads ({} row / {} col, {:.1}% buffer hits), {} writes, {} KB total",
             self.mem.reads,
             self.mem.row_reads,
             self.mem.col_reads,
             self.mem.buffer_hit_rate() * 100.0,
             self.mem.writes,
             self.mem.total_bytes() / 1024,
-        ));
+        );
         out
     }
 }

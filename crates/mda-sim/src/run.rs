@@ -18,6 +18,8 @@ pub fn simulate(src: &dyn TraceSource, cfg: &SystemConfig) -> SimReport {
     let mut occupancy = OccupancyTimeline::new();
     let mut mem_ops_seen = 0u64;
     let sample_every = cfg.occupancy_every;
+    // Reused across samples so the hot trace loop never allocates.
+    let mut snapshot: Vec<(usize, usize, usize)> = Vec::new();
 
     src.generate(&cfg.codegen, &mut |op| {
         match &op {
@@ -33,8 +35,8 @@ pub fn simulate(src: &dyn TraceSource, cfg: &SystemConfig) -> SimReport {
         }
         hierarchy.step(&mut core, &op);
         if sample_every > 0 && matches!(op, TraceOp::Mem(_)) && mem_ops_seen.is_multiple_of(sample_every) {
-            let snapshot: Vec<(usize, usize, usize)> =
-                hierarchy.levels().iter().map(|l| l.occupancy()).collect();
+            snapshot.clear();
+            snapshot.extend(hierarchy.levels().iter().map(|l| l.occupancy()));
             occupancy.record(core.now(), &snapshot);
         }
     });
@@ -101,5 +103,18 @@ mod tests {
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.levels, b.levels);
         assert_eq!(a.mem, b.mem);
+
+        // Parallel-vs-sequential equivalence: the same cell simulated on
+        // concurrently running worker threads must reproduce the sequential
+        // report exactly (each simulation owns all of its state).
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..4).map(|_| scope.spawn(|| simulate(&p, &cfg))).collect();
+            for worker in workers {
+                let r = worker.join().expect("worker simulation panicked");
+                assert_eq!(r.cycles, a.cycles);
+                assert_eq!(r.levels, a.levels);
+                assert_eq!(r.mem, a.mem);
+            }
+        });
     }
 }

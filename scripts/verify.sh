@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate plus a parallel-harness smoke test.
+#
+# Usage: scripts/verify.sh
+#
+# Steps:
+#   1. release build of the whole workspace
+#   2. full test suite (unit + integration + property tests)
+#   3. `figures all --scale tiny --jobs 2` smoke run, asserting the
+#      parallel harness produces output byte-identical to `--jobs 1`
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: test suite =="
+cargo test -q
+
+echo "== smoke: figures all --scale tiny, --jobs 1 vs --jobs 2 =="
+cargo build -q --release -p mda-bench
+FIGURES=target/release/figures
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+"$FIGURES" all --scale tiny --jobs 1 --csv "$TMP/csv1" >"$TMP/out1.txt" 2>/dev/null
+"$FIGURES" all --scale tiny --jobs 2 --csv "$TMP/csv2" >"$TMP/out2.txt" 2>/dev/null
+cmp "$TMP/out1.txt" "$TMP/out2.txt"
+diff -rq "$TMP/csv1" "$TMP/csv2"
+echo "parallel output byte-identical"
+
+echo "verify: OK"

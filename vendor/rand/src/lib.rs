@@ -1,0 +1,123 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API this workspace
+//! uses (`StdRng::seed_from_u64` + `Rng::gen_range` over half-open integer
+//! ranges).
+//!
+//! The build environment has no access to crates.io, so the real crate
+//! cannot be fetched; this stub keeps the same API surface with a
+//! deterministic SplitMix64 generator. Streams differ from the real
+//! `StdRng` (ChaCha12), but every consumer in this workspace only relies on
+//! *seeded determinism*, not on a particular stream.
+
+/// A seedable deterministic generator.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Uniform sampling support for [`Rng::gen_range`].
+pub trait SampleUniform: Copy {
+    /// Maps a raw 64-bit draw into `[start, end)`.
+    fn from_draw(draw: u64, start: Self, end: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn from_draw(draw: u64, start: Self, end: Self) -> Self {
+                assert!(start < end, "gen_range requires a non-empty range");
+                let span = (end - start) as u64;
+                start + (draw % span) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_signed {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn from_draw(draw: u64, start: Self, end: Self) -> Self {
+                assert!(start < end, "gen_range requires a non-empty range");
+                let span = end.wrapping_sub(start) as u64;
+                start.wrapping_add((draw % span) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_signed!(i8, i16, i32, i64, isize);
+
+/// The generator interface.
+pub trait Rng {
+    /// The next raw 64-bit draw.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from the half-open `range`.
+    fn gen_range<T: SampleUniform>(&mut self, range: core::ops::Range<T>) -> T {
+        T::from_draw(self.next_u64(), range.start, range.end)
+    }
+
+    /// A uniform boolean.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    /// Deterministic seeded generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> StdRng {
+            StdRng { state }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (public domain, Vigna 2015).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(3u64..17);
+            assert!((3..17).contains(&v));
+            let s = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}
