@@ -6,7 +6,8 @@
 //!         [--jobs N] [--bench-timings]
 //!
 //! experiments: table1 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17
-//!              ablation ext_tiling
+//!              ablation ext_tiling ext_multicore ext_energy
+//!              ext_reliability
 //!
 //! --csv DIR additionally writes every table-shaped figure as CSV files
 //! under DIR (for external plotting).
@@ -21,14 +22,15 @@
 //! ```
 
 use mda_bench::experiments::{
-    ablation, ext_energy, ext_multicore, ext_tiling, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, table1,
+    ablation, ext_energy, ext_multicore, ext_reliability, ext_tiling, fig10, fig11, fig12, fig13, fig14, fig15,
+    fig16, fig17, table1,
 };
 use mda_bench::{parallel, Scale};
 use std::time::Instant;
 
-const EXPERIMENTS: [&str; 13] = [
+const EXPERIMENTS: [&str; 14] = [
     "table1", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation",
-    "ext_tiling", "ext_multicore", "ext_energy",
+    "ext_tiling", "ext_multicore", "ext_energy", "ext_reliability",
 ];
 
 fn usage() -> ! {
@@ -39,12 +41,17 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
-/// Writes `name.csv` under `dir` (best-effort, reported on stderr).
+/// Writes `name.csv` under `dir`; a write failure names the path and
+/// aborts the run with a nonzero exit (a silently missing CSV is worse
+/// than a dead harness).
 fn emit_csv(dir: &std::path::Path, name: &str, csv: &str) {
     let path = dir.join(format!("{name}.csv"));
     match std::fs::write(&path, csv) {
         Ok(()) => eprintln!("wrote {}", path.display()),
-        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        Err(e) => {
+            eprintln!("error: failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
     }
 }
 
@@ -77,6 +84,12 @@ fn run_csv(name: &str, scale: Scale, dir: &std::path::Path) {
         "ext_tiling" => emit_csv(dir, "ext_tiling", &ext_tiling::run(scale).to_csv()),
         "ext_multicore" => emit_csv(dir, "ext_multicore", &ext_multicore::run(scale).to_csv()),
         "ext_energy" => emit_csv(dir, "ext_energy", &ext_energy::run(scale).to_csv()),
+        "ext_reliability" => {
+            let f = ext_reliability::run(scale);
+            emit_csv(dir, "ext_reliability_cycles", &f.cycles.to_csv());
+            emit_csv(dir, "ext_reliability_retries", &f.retries.to_csv());
+            emit_csv(dir, "ext_reliability_corrected", &f.corrected.to_csv());
+        }
         // table1/fig10/fig15 are not kernel×design tables.
         _ => {}
     }
@@ -98,6 +111,7 @@ fn run_one(name: &str, scale: Scale) -> f64 {
         "ext_tiling" => ext_tiling::run(scale).render(),
         "ext_multicore" => ext_multicore::run(scale).render(),
         "ext_energy" => ext_energy::run(scale).render(),
+        "ext_reliability" => ext_reliability::render(scale),
         other => {
             eprintln!("unknown experiment '{other}'");
             usage()
@@ -180,7 +194,10 @@ fn main() {
         let json = format!("[\n{}\n]\n", entries.join(",\n"));
         match std::fs::write(path, json) {
             Ok(()) => eprintln!("wrote {path}"),
-            Err(e) => eprintln!("failed to write {path}: {e}"),
+            Err(e) => {
+                eprintln!("error: failed to write {path}: {e}");
+                std::process::exit(1);
+            }
         }
     }
 }

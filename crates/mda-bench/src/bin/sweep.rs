@@ -3,6 +3,8 @@
 //!
 //! ```text
 //! sweep <parameter> [--kernel sgemm] [--scale tiny|scaled|paper] [--jobs N]
+//!       [--write-ber R] [--read-disturb R] [--retention-ber R]
+//!       [--fault-seed N]
 //!
 //! parameters:
 //!   llc        LLC capacity (the Fig. 12 axis, extended)
@@ -11,14 +13,23 @@
 //!   prefetch   baseline prefetch degree
 //!   subbuf     open row/column buffers per bank (Sec. IX-B)
 //!   window     core instruction window
+//!   ber        raw write bit-error rate (the reliability extension axis)
 //! ```
+//!
+//! The `--write-ber`/`--read-disturb`/`--retention-ber`/`--fault-seed`
+//! flags inject faults into every point of any sweep (all rates default to
+//! 0, i.e. the fault-free devices of the paper's evaluation); the `ber`
+//! parameter instead sweeps the write BER itself, with read-disturb and
+//! retention scaled proportionally. A cell whose simulation panics is
+//! reported on stderr and printed as `degraded`, leaving the rest of the
+//! sweep intact.
 //!
 //! Every point × design cell runs on the worker pool (`--jobs N`, or the
 //! `MDA_JOBS` environment variable; defaults to the machine's cores).
 
-use mda_bench::experiments::run_kernel;
+use mda_bench::experiments::{ext_reliability, run_kernel};
 use mda_bench::{parallel, Scale};
-use mda_sim::{HierarchyKind, SystemConfig};
+use mda_sim::{FaultConfig, HierarchyKind, SystemConfig};
 use mda_workloads::Kernel;
 
 struct Point {
@@ -26,11 +37,22 @@ struct Point {
     cfgs: Vec<(String, SystemConfig)>,
 }
 
-fn designs(mut f: impl FnMut(HierarchyKind) -> SystemConfig) -> Vec<(String, SystemConfig)> {
-    mda_bench::designs().into_iter().map(|k| (k.name().to_string(), f(k))).collect()
+/// Expands every design over `f`, attaching `faults` to each system.
+fn designs(
+    faults: FaultConfig,
+    mut f: impl FnMut(HierarchyKind) -> SystemConfig,
+) -> Vec<(String, SystemConfig)> {
+    mda_bench::designs()
+        .into_iter()
+        .map(|k| {
+            let mut cfg = f(k);
+            cfg.mem.faults = faults;
+            (k.name().to_string(), cfg)
+        })
+        .collect()
 }
 
-fn points(param: &str, scale: Scale) -> Result<Vec<Point>, String> {
+fn points(param: &str, scale: Scale, faults: FaultConfig) -> Result<Vec<Point>, String> {
     let out = match param {
         "llc" => [1u64, 2, 4, 8, 16]
             .into_iter()
@@ -38,7 +60,7 @@ fn points(param: &str, scale: Scale) -> Result<Vec<Point>, String> {
                 let llc = scale.llc_sweep()[0] * mult / 2;
                 Point {
                     label: format!("llc={}KB", llc / 1024),
-                    cfgs: designs(|k| scale.system_with_llc(k, llc)),
+                    cfgs: designs(faults, |k| scale.system_with_llc(k, llc)),
                 }
             })
             .collect(),
@@ -46,7 +68,7 @@ fn points(param: &str, scale: Scale) -> Result<Vec<Point>, String> {
             .into_iter()
             .map(|m| Point {
                 label: format!("l1-mshrs={m}"),
-                cfgs: designs(|k| {
+                cfgs: designs(faults, |k| {
                     let mut c = scale.system(k);
                     c.l1.mshrs = m;
                     c
@@ -57,7 +79,7 @@ fn points(param: &str, scale: Scale) -> Result<Vec<Point>, String> {
             .into_iter()
             .map(|ch| Point {
                 label: format!("channels={ch}"),
-                cfgs: designs(|k| {
+                cfgs: designs(faults, |k| {
                     let mut c = scale.system(k);
                     c.mem.channels = ch;
                     c
@@ -68,7 +90,7 @@ fn points(param: &str, scale: Scale) -> Result<Vec<Point>, String> {
             .into_iter()
             .map(|d| Point {
                 label: format!("pf-degree={d}"),
-                cfgs: designs(|k| {
+                cfgs: designs(faults, |k| {
                     let mut c = scale.system(k);
                     c.prefetch_degree = d;
                     c
@@ -79,18 +101,28 @@ fn points(param: &str, scale: Scale) -> Result<Vec<Point>, String> {
             .into_iter()
             .map(|s| Point {
                 label: format!("sub-buffers={s}"),
-                cfgs: designs(|k| {
+                cfgs: designs(faults, |k| {
                     let mut c = scale.system(k);
                     c.mem.sub_buffers = s;
                     c
                 }),
             })
             .collect(),
+        "ber" => ext_reliability::BERS
+            .into_iter()
+            .map(|ber| {
+                let point_faults = FaultConfig::uniform(faults.seed, ber, ber / 8.0, ber / 16.0);
+                Point {
+                    label: if ber == 0.0 { "ber=0".to_string() } else { format!("ber={ber:e}") },
+                    cfgs: designs(point_faults, |k| scale.system(k)),
+                }
+            })
+            .collect(),
         "window" => [16usize, 32, 64, 96, 192]
             .into_iter()
             .map(|w| Point {
                 label: format!("window={w}"),
-                cfgs: designs(|k| {
+                cfgs: designs(faults, |k| {
                     let mut c = scale.system(k);
                     c.core.window = w;
                     c
@@ -102,11 +134,36 @@ fn points(param: &str, scale: Scale) -> Result<Vec<Point>, String> {
     Ok(out)
 }
 
+fn usage() -> ! {
+    eprintln!(
+        "usage: sweep <llc|mshrs|channels|prefetch|subbuf|window|ber> [--kernel K] \
+         [--scale S] [--jobs N] [--write-ber R] [--read-disturb R] [--retention-ber R] \
+         [--fault-seed N]"
+    );
+    std::process::exit(2);
+}
+
+/// Parses a probability flag value, naming the flag on failure.
+fn parse_rate(flag: &str, v: Option<String>) -> f64 {
+    let v = v.unwrap_or_default();
+    match v.parse::<f64>() {
+        Ok(r) if (0.0..=1.0).contains(&r) => r,
+        _ => {
+            eprintln!("{flag} expects a probability in [0, 1], got '{v}'");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Scaled;
     let mut kernel = Kernel::Sgemm;
     let mut param: Option<String> = None;
+    let mut fault_seed = ext_reliability::FAULT_SEED;
+    let mut write_ber = 0.0;
+    let mut read_disturb = 0.0;
+    let mut retention_ber = 0.0;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -123,12 +180,25 @@ fn main() {
                 })
             }
             "--jobs" => {
-                let n = it.next().unwrap_or_default().parse::<usize>().unwrap_or_else(|_| {
-                    eprintln!("--jobs expects a positive integer");
+                match it.next().unwrap_or_default().parse::<usize>() {
+                    Ok(n) if n > 0 => parallel::set_jobs(n),
+                    _ => {
+                        eprintln!("--jobs expects a positive integer");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--write-ber" => write_ber = parse_rate("--write-ber", it.next()),
+            "--read-disturb" => read_disturb = parse_rate("--read-disturb", it.next()),
+            "--retention-ber" => retention_ber = parse_rate("--retention-ber", it.next()),
+            "--fault-seed" => {
+                let v = it.next().unwrap_or_default();
+                fault_seed = v.parse::<u64>().unwrap_or_else(|_| {
+                    eprintln!("--fault-seed expects an unsigned integer, got '{v}'");
                     std::process::exit(2);
                 });
-                parallel::set_jobs(n);
             }
+            "--help" | "-h" => usage(),
             p if param.is_none() => param = Some(p.to_string()),
             other => {
                 eprintln!("unexpected argument '{other}'");
@@ -136,24 +206,30 @@ fn main() {
             }
         }
     }
-    let Some(param) = param else {
-        eprintln!(
-            "usage: sweep <llc|mshrs|channels|prefetch|subbuf|window> [--kernel K] [--scale S] [--jobs N]"
-        );
-        std::process::exit(2);
-    };
-    let pts = points(&param, scale).unwrap_or_else(|e| {
+    let Some(param) = param else { usage() };
+    let faults = FaultConfig::uniform(fault_seed, write_ber, read_disturb, retention_ber);
+    let pts = points(&param, scale, faults).unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
     });
 
     // Flatten every point × design cell and fan out across the worker
     // pool; results come back in input order, so printing stays identical
-    // to the sequential sweep.
+    // to the sequential sweep. A twice-panicking cell degrades to an `Err`
+    // instead of killing the sweep.
     let n = scale.input();
-    let all_cfgs: Vec<SystemConfig> =
-        pts.iter().flat_map(|p| p.cfgs.iter().map(|(_, cfg)| cfg.clone())).collect();
-    let cycles = parallel::par_map(&all_cfgs, |cfg| run_kernel(kernel, n, cfg).cycles);
+    let all_cells: Vec<(String, SystemConfig)> = pts
+        .iter()
+        .flat_map(|p| {
+            p.cfgs.iter().map(|(name, cfg)| (format!("{}/{name}", p.label), cfg.clone()))
+        })
+        .collect();
+    let cycles = parallel::par_try_map(&all_cells, |(_, cfg)| run_kernel(kernel, n, cfg).cycles);
+    for ((label, _), outcome) in all_cells.iter().zip(&cycles) {
+        if let Err(msg) = outcome {
+            eprintln!("warning: cell '{label}' degraded: {msg}");
+        }
+    }
     let mut cell = cycles.into_iter();
 
     println!("sweep of {param} — {kernel} at {scale} scale, cycles normalized to each point's 1P1L\n");
@@ -164,14 +240,24 @@ fn main() {
     println!();
     for p in pts {
         print!("{:>16}", p.label);
-        let mut base = 1u64;
+        let mut base: Option<u64> = None;
         for (name, _) in &p.cfgs {
-            let cycles = cell.next().expect("one result per cell");
-            if name == "1P1L" {
-                base = cycles;
-                print!("  {cycles:>14}");
-            } else {
-                print!("  {:>14.3}", cycles as f64 / base as f64);
+            let outcome = cell.next().expect("one result per cell");
+            match outcome {
+                Ok(cycles) if name == "1P1L" => {
+                    base = Some(cycles);
+                    print!("  {cycles:>14}");
+                }
+                Ok(cycles) => match base {
+                    Some(b) if b > 0 => print!("  {:>14.3}", cycles as f64 / b as f64),
+                    _ => print!("  {:>14}", "degraded"),
+                },
+                Err(_) => {
+                    if name == "1P1L" {
+                        base = None;
+                    }
+                    print!("  {:>14}", "degraded");
+                }
             }
         }
         println!();

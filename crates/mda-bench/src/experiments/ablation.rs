@@ -11,7 +11,7 @@
 //!   ("given the large transfer unit … we directly explore a variant that
 //!   supports sparse occupancy"); this ablation shows why.
 
-use crate::experiments::{run_grid, FigureTable};
+use crate::experiments::{metric_series, norm_series, run_grid, FigureTable};
 use crate::scale::Scale;
 use mda_compiler::CodegenOptions;
 use mda_sim::HierarchyKind;
@@ -33,11 +33,8 @@ pub fn layout_mismatch(scale: Scale) -> FigureTable {
         ("1P1L-on-2D-layout".to_string(), mismatched_cfg),
     ];
     let reports = run_grid("ablation_layout", n, &configs);
-    let values: Vec<f64> = reports[1]
-        .iter()
-        .zip(&reports[0])
-        .map(|(r, base)| r.cycles as f64 / base.cycles.max(1) as f64)
-        .collect();
+    let baselines = metric_series(&reports[0], |r| r.cycles as f64);
+    let values = norm_series(&metric_series(&reports[1], |r| r.cycles as f64), &baselines);
     fig.push_series("1P1L-on-2D-layout", values);
     fig
 }
@@ -55,12 +52,9 @@ pub fn dense_fill(scale: Scale) -> FigureTable {
     let mut configs = vec![("base".to_string(), scale.system(HierarchyKind::Baseline1P1L))];
     configs.extend(plotted.iter().map(|kind| (kind.name().to_string(), scale.system(*kind))));
     let reports = run_grid("ablation_dense", n, &configs);
+    let baselines = metric_series(&reports[0], |r| r.cycles as f64);
     for (kind, chunk) in plotted.iter().zip(&reports[1..]) {
-        let values: Vec<f64> = chunk
-            .iter()
-            .zip(&reports[0])
-            .map(|(r, base)| r.cycles as f64 / base.cycles.max(1) as f64)
-            .collect();
+        let values = norm_series(&metric_series(chunk, |r| r.cycles as f64), &baselines);
         fig.push_series(kind.name(), values);
     }
     fig
@@ -93,11 +87,8 @@ pub fn sub_row_buffers(scale: Scale) -> FigureTable {
         .collect();
     let reports = run_grid("ablation_subbuf", n, &configs);
     for (kind, pair) in kinds.iter().zip(reports.chunks(2)) {
-        let values: Vec<f64> = pair[1]
-            .iter()
-            .zip(&pair[0])
-            .map(|(multi, single)| multi.cycles as f64 / single.cycles.max(1) as f64)
-            .collect();
+        let singles = metric_series(&pair[0], |r| r.cycles as f64);
+        let values = norm_series(&metric_series(&pair[1], |r| r.cycles as f64), &singles);
         fig.push_series(format!("{}+4buf", kind.name()), values);
     }
     fig
@@ -119,12 +110,9 @@ pub fn taxonomy_2p1l(scale: Scale) -> FigureTable {
     let mut configs = vec![("base".to_string(), scale.system(HierarchyKind::Baseline1P1L))];
     configs.extend(plotted.iter().map(|kind| (kind.name().to_string(), scale.system(*kind))));
     let reports = run_grid("ablation_2p1l", n, &configs);
+    let baselines = metric_series(&reports[0], |r| r.cycles as f64);
     for (kind, chunk) in plotted.iter().zip(&reports[1..]) {
-        let values: Vec<f64> = chunk
-            .iter()
-            .zip(&reports[0])
-            .map(|(r, base)| r.cycles as f64 / base.cycles.max(1) as f64)
-            .collect();
+        let values = norm_series(&metric_series(chunk, |r| r.cycles as f64), &baselines);
         fig.push_series(kind.name(), values);
     }
     fig

@@ -6,7 +6,7 @@
 //! counts with an STT-class [`EnergyModel`] and reports each design's
 //! memory-system energy normalized to the prefetching baseline.
 
-use crate::experiments::{run_grid, FigureTable};
+use crate::experiments::{metric_series, norm_series, run_grid, FigureTable};
 use crate::fig11::PLOTTED;
 use crate::scale::Scale;
 use mda_sim::{EnergyModel, HierarchyKind};
@@ -24,13 +24,9 @@ pub fn run(scale: Scale) -> FigureTable {
     let mut configs = vec![("base".to_string(), scale.system(HierarchyKind::Baseline1P1L))];
     configs.extend(PLOTTED.iter().map(|kind| (kind.name().to_string(), scale.system(*kind))));
     let reports = run_grid("ext_energy", n, &configs);
-    let baselines: Vec<f64> = reports[0].iter().map(|r| model.memory_energy_nj(r)).collect();
+    let baselines = metric_series(&reports[0], |r| model.memory_energy_nj(r));
     for (kind, chunk) in PLOTTED.iter().zip(&reports[1..]) {
-        let values: Vec<f64> = chunk
-            .iter()
-            .zip(&baselines)
-            .map(|(r, base)| model.memory_energy_nj(r) / base.max(1e-9))
-            .collect();
+        let values = norm_series(&metric_series(chunk, |r| model.memory_energy_nj(r)), &baselines);
         fig.push_series(kind.name(), values);
     }
     fig

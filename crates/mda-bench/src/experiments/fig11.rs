@@ -10,7 +10,7 @@
 //! the denominator-free view: how many lines actually had to be brought
 //! into the L1, counting the baseline's prefetcher work.
 
-use crate::experiments::{run_grid, FigureTable};
+use crate::experiments::{metric_series, norm_series, run_grid, FigureTable};
 use crate::scale::Scale;
 use mda_sim::HierarchyKind;
 use mda_workloads::Kernel;
@@ -49,14 +49,11 @@ pub fn run(scale: Scale) -> Fig11 {
     let mut configs = vec![("base".to_string(), scale.system(HierarchyKind::Baseline1P1L))];
     configs.extend(PLOTTED.iter().map(|kind| (kind.name().to_string(), scale.system(*kind))));
     let reports = run_grid("fig11", n, &configs);
-    let baselines: Vec<(f64, u64)> = reports[0].iter().map(|r| (r.l1_hit_rate(), l1_fills(r))).collect();
+    let base_hr = metric_series(&reports[0], |r| r.l1_hit_rate());
+    let base_fills = metric_series(&reports[0], |r| l1_fills(r) as f64);
     for (kind, chunk) in PLOTTED.iter().zip(&reports[1..]) {
-        let mut hr_vals = Vec::new();
-        let mut fill_vals = Vec::new();
-        for (r, (base_hr, base_fills)) in chunk.iter().zip(&baselines) {
-            hr_vals.push(if *base_hr == 0.0 { 0.0 } else { r.l1_hit_rate() / base_hr });
-            fill_vals.push(l1_fills(r) as f64 / (*base_fills).max(1) as f64);
-        }
+        let hr_vals = norm_series(&metric_series(chunk, |r| r.l1_hit_rate()), &base_hr);
+        let fill_vals = norm_series(&metric_series(chunk, |r| l1_fills(r) as f64), &base_fills);
         hit_rate.push_series(kind.name(), hr_vals);
         fills.push_series(kind.name(), fill_vals);
     }

@@ -2,7 +2,7 @@
 //! for the four LLC capacities of the sweep (paper: 1 / 1.5 / 2 / 4 MB with
 //! 512×512 inputs).
 
-use crate::experiments::{run_grid, FigureTable};
+use crate::experiments::{metric_series, norm_series, run_grid, FigureTable};
 use crate::fig11::PLOTTED;
 use crate::scale::Scale;
 use mda_sim::HierarchyKind;
@@ -24,13 +24,9 @@ pub fn run_one(scale: Scale, llc: u64) -> FigureTable {
     let mut configs = vec![("base".to_string(), scale.system_with_llc(HierarchyKind::Baseline1P1L, llc))];
     configs.extend(PLOTTED.iter().map(|kind| (kind.name().to_string(), scale.system_with_llc(*kind, llc))));
     let reports = run_grid("fig12", n, &configs);
-    let baselines: Vec<u64> = reports[0].iter().map(|r| r.cycles).collect();
+    let baselines = metric_series(&reports[0], |r| r.cycles as f64);
     for (kind, chunk) in PLOTTED.iter().zip(&reports[1..]) {
-        let values: Vec<f64> = chunk
-            .iter()
-            .zip(&baselines)
-            .map(|(r, base)| r.cycles as f64 / (*base).max(1) as f64)
-            .collect();
+        let values = norm_series(&metric_series(chunk, |r| r.cycles as f64), &baselines);
         fig.push_series(kind.name(), values);
     }
     fig

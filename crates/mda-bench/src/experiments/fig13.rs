@@ -6,7 +6,7 @@
 //! vectorization and L1↔L2 traffic, so the paper sees much smaller (but
 //! still positive) reductions than in Fig. 12.
 
-use crate::experiments::{run_grid, FigureTable};
+use crate::experiments::{metric_series, norm_series, run_grid, FigureTable};
 use crate::scale::Scale;
 use mda_sim::HierarchyKind;
 use mda_workloads::Kernel;
@@ -28,13 +28,9 @@ pub fn run(scale: Scale) -> FigureTable {
     let mut configs = vec![("base".to_string(), scale.cache_resident_system(HierarchyKind::Baseline1P1L))];
     configs.extend(PLOTTED.iter().map(|kind| (kind.name().to_string(), scale.cache_resident_system(*kind))));
     let reports = run_grid("fig13", n, &configs);
-    let baselines: Vec<u64> = reports[0].iter().map(|r| r.cycles).collect();
+    let baselines = metric_series(&reports[0], |r| r.cycles as f64);
     for (kind, chunk) in PLOTTED.iter().zip(&reports[1..]) {
-        let values: Vec<f64> = chunk
-            .iter()
-            .zip(&baselines)
-            .map(|(r, base)| r.cycles as f64 / (*base).max(1) as f64)
-            .collect();
+        let values = norm_series(&metric_series(chunk, |r| r.cycles as f64), &baselines);
         fig.push_series(kind.name(), values);
     }
     fig

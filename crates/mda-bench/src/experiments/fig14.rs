@@ -6,7 +6,7 @@
 //! to the same column into one column access, and column transfers stop
 //! fetching 64 bytes per useful word.
 
-use crate::experiments::{run_grid, FigureTable};
+use crate::experiments::{metric_series, norm_series, run_grid, FigureTable};
 use crate::fig11::PLOTTED;
 use crate::scale::Scale;
 use mda_sim::HierarchyKind;
@@ -35,14 +35,12 @@ pub fn run(scale: Scale) -> Fig14 {
     let mut configs = vec![("base".to_string(), scale.system(HierarchyKind::Baseline1P1L))];
     configs.extend(PLOTTED.iter().map(|kind| (kind.name().to_string(), scale.system(*kind))));
     let reports = run_grid("fig14", n, &configs);
-    let base: Vec<(u64, u64)> = reports[0].iter().map(|r| (r.llc_accesses(), r.llc_memory_bytes())).collect();
+    let base_acc = metric_series(&reports[0], |r| r.llc_accesses() as f64);
+    let base_bytes = metric_series(&reports[0], |r| r.llc_memory_bytes() as f64);
     for (kind, chunk) in PLOTTED.iter().zip(&reports[1..]) {
-        let mut acc_vals = Vec::new();
-        let mut byte_vals = Vec::new();
-        for (r, (base_acc, base_bytes)) in chunk.iter().zip(&base) {
-            acc_vals.push(r.llc_accesses() as f64 / (*base_acc).max(1) as f64);
-            byte_vals.push(r.llc_memory_bytes() as f64 / (*base_bytes).max(1) as f64);
-        }
+        let acc_vals = norm_series(&metric_series(chunk, |r| r.llc_accesses() as f64), &base_acc);
+        let byte_vals =
+            norm_series(&metric_series(chunk, |r| r.llc_memory_bytes() as f64), &base_bytes);
         acc.push_series(kind.name(), acc_vals);
         bytes.push_series(kind.name(), byte_vals);
     }

@@ -5,7 +5,7 @@
 //! cycles and finds only a small (≈0.4% average) degradation, because LLC
 //! writes (fills and writebacks) are largely off the critical path.
 
-use crate::experiments::{run_grid, FigureTable};
+use crate::experiments::{metric_series, norm_series, run_grid, FigureTable};
 use crate::scale::Scale;
 use mda_sim::HierarchyKind;
 use mda_workloads::Kernel;
@@ -34,13 +34,9 @@ pub fn run(scale: Scale) -> FigureTable {
         ),
     ];
     let reports = run_grid("fig16", n, &configs);
-    let baselines: Vec<u64> = reports[0].iter().map(|r| r.cycles).collect();
+    let baselines = metric_series(&reports[0], |r| r.cycles as f64);
     for ((name, _), chunk) in configs.iter().zip(&reports).skip(1) {
-        let values: Vec<f64> = chunk
-            .iter()
-            .zip(&baselines)
-            .map(|(r, base)| r.cycles as f64 / (*base).max(1) as f64)
-            .collect();
+        let values = norm_series(&metric_series(chunk, |r| r.cycles as f64), &baselines);
         fig.push_series(name.clone(), values);
     }
     fig

@@ -6,7 +6,7 @@
 //! MDA memory still beat a conventional hierarchy on a faster conventional
 //! memory (yes — 1P2L on base memory beats 1P1L-fast)?
 
-use crate::experiments::{run_grid, FigureTable};
+use crate::experiments::{metric_series, norm_series, run_grid, FigureTable};
 use crate::scale::Scale;
 use mda_sim::{HierarchyKind, SystemConfig};
 use mda_workloads::Kernel;
@@ -38,13 +38,9 @@ pub fn run(scale: Scale) -> FigureTable {
     // The base-speed 1P1L run is the first variant: it supplies the
     // normalizer and is skipped as a plotted series (all 1.0).
     let reports = run_grid("fig17", n, &variants);
-    let baselines: Vec<u64> = reports[0].iter().map(|r| r.cycles).collect();
+    let baselines = metric_series(&reports[0], |r| r.cycles as f64);
     for ((name, _), chunk) in variants.iter().zip(&reports).skip(1) {
-        let values: Vec<f64> = chunk
-            .iter()
-            .zip(&baselines)
-            .map(|(r, base)| r.cycles as f64 / (*base).max(1) as f64)
-            .collect();
+        let values = norm_series(&metric_series(chunk, |r| r.cycles as f64), &baselines);
         fig.push_series(name.clone(), values);
     }
     fig

@@ -10,10 +10,12 @@ pub mod fig15;
 pub mod fig16;
 pub mod ext_energy;
 pub mod ext_multicore;
+pub mod ext_reliability;
 pub mod ext_tiling;
 pub mod fig17;
 pub mod table1;
 
+use crate::parallel::CellResult;
 use crate::table::{fmt_ratio, TextTable};
 use mda_sim::{simulate, HierarchyKind, SimReport, SystemConfig};
 use mda_workloads::Kernel;
@@ -60,13 +62,19 @@ impl FigureTable {
     }
 
     /// Arithmetic mean of a design's series (the paper reports arithmetic
-    /// averages over benchmarks).
+    /// averages over benchmarks). Degraded cells (NaN) are skipped so one
+    /// failed kernel does not wipe out the design's average; an all-NaN
+    /// series averages to NaN.
     pub fn average(&self, design: &str) -> Option<f64> {
         let (_, vals) = self.series.iter().find(|(d, _)| d == design)?;
         if vals.is_empty() {
             return None;
         }
-        Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        let healthy: Vec<f64> = vals.iter().copied().filter(|v| !v.is_nan()).collect();
+        if healthy.is_empty() {
+            return Some(f64::NAN);
+        }
+        Some(healthy.iter().sum::<f64>() / healthy.len() as f64)
     }
 
     /// Renders the figure as CSV (kernels as rows, designs as columns,
@@ -82,16 +90,23 @@ impl FigureTable {
             out.push_str(d);
         }
         out.push('\n');
+        let write_cell = |out: &mut String, v: f64| {
+            if v.is_nan() {
+                out.push_str(",degraded");
+            } else {
+                let _ = write!(out, ",{v:.6}");
+            }
+        };
         for (k, kernel) in self.kernels.iter().enumerate() {
             out.push_str(kernel);
             for (_, vals) in &self.series {
-                let _ = write!(out, ",{:.6}", vals[k]);
+                write_cell(&mut out, vals[k]);
             }
             out.push('\n');
         }
         out.push_str("Average");
         for (d, _) in &self.series {
-            let _ = write!(out, ",{:.6}", self.average(d).unwrap_or(0.0));
+            write_cell(&mut out, self.average(d).unwrap_or(0.0));
         }
         out.push('\n');
         out
@@ -132,12 +147,15 @@ pub fn run_kernel(kernel: Kernel, n: u64, cfg: &SystemConfig) -> SimReport {
 }
 
 /// Expands `(series label, config)` pairs over every kernel at input size
-/// `n`, simulates all cells on the worker pool, and returns one report
-/// chunk per pair, reports in [`Kernel::all`] order.
+/// `n`, simulates all cells on the worker pool, and returns one outcome
+/// chunk per pair, cells in [`Kernel::all`] order. A cell whose simulation
+/// panicked (twice, counting the automatic retry) comes back as a labeled
+/// `Err`; extract plottable values with [`metric_series`], which renders
+/// such cells as NaN ("degraded" in tables and CSVs).
 ///
 /// This is the grid shape shared by most figures: the normalizer series
 /// goes first, so `chunks[0]` holds the baselines.
-pub fn run_grid(figure: &str, n: u64, configs: &[(String, SystemConfig)]) -> Vec<Vec<SimReport>> {
+pub fn run_grid(figure: &str, n: u64, configs: &[(String, SystemConfig)]) -> Vec<Vec<CellResult>> {
     let cells: Vec<crate::parallel::Cell> = configs
         .iter()
         .flat_map(|(series, cfg)| {
@@ -146,6 +164,36 @@ pub fn run_grid(figure: &str, n: u64, configs: &[(String, SystemConfig)]) -> Vec
         .collect();
     let mut reports = crate::parallel::run_cells(&cells).into_iter();
     configs.iter().map(|_| reports.by_ref().take(Kernel::all().len()).collect()).collect()
+}
+
+/// Extracts `metric` from each cell outcome of a [`run_grid`] chunk,
+/// mapping degraded cells to NaN (rendered as "degraded" downstream).
+pub fn metric_series(chunk: &[CellResult], metric: impl Fn(&SimReport) -> f64) -> Vec<f64> {
+    chunk
+        .iter()
+        .map(|r| match r {
+            Ok(rep) => metric(rep),
+            Err(_) => f64::NAN,
+        })
+        .collect()
+}
+
+/// Normalizes `value` against `base`, propagating degradation: NaN in
+/// either operand yields NaN (unlike `f64::max`-style clamps, which would
+/// silently swallow it), and a non-positive baseline yields 0.
+pub fn norm(value: f64, base: f64) -> f64 {
+    if value.is_nan() || base.is_nan() {
+        f64::NAN
+    } else if base <= 0.0 {
+        0.0
+    } else {
+        value / base
+    }
+}
+
+/// Pairwise [`norm`] of a metric series against its baseline series.
+pub fn norm_series(values: &[f64], bases: &[f64]) -> Vec<f64> {
+    values.iter().zip(bases).map(|(v, b)| norm(*v, *b)).collect()
 }
 
 #[cfg(test)]
@@ -181,5 +229,32 @@ mod tests {
     fn mismatched_series_panics() {
         let mut f = FigureTable::new("t", vec!["a".into()]);
         f.push_series("x", vec![0.1, 0.2]);
+    }
+
+    #[test]
+    fn degraded_cells_render_as_degraded_everywhere() {
+        let mut f = FigureTable::new("t", vec!["a".into(), "b".into()]);
+        f.push_series("1P2L", vec![0.25, f64::NAN]);
+        f.push_series("2P2L", vec![f64::NAN, f64::NAN]);
+        // The average skips NaN; an all-NaN series averages to NaN.
+        assert!((f.average("1P2L").unwrap() - 0.25).abs() < 1e-12);
+        assert!(f.average("2P2L").unwrap().is_nan());
+        let table = f.render();
+        assert!(table.contains("degraded"), "table: {table}");
+        assert!(table.contains("0.250"), "healthy cells survive: {table}");
+        let csv = f.to_csv();
+        assert!(csv.lines().any(|l| l == "b,degraded,degraded"), "csv: {csv}");
+        assert!(csv.lines().any(|l| l == "Average,0.250000,degraded"), "csv: {csv}");
+    }
+
+    #[test]
+    fn norm_propagates_degradation() {
+        assert!((norm(3.0, 2.0) - 1.5).abs() < 1e-12);
+        assert!(norm(f64::NAN, 2.0).is_nan());
+        assert!(norm(3.0, f64::NAN).is_nan());
+        assert_eq!(norm(3.0, 0.0), 0.0);
+        let out = norm_series(&[2.0, f64::NAN], &[4.0, 4.0]);
+        assert_eq!(out[0], 0.5);
+        assert!(out[1].is_nan());
     }
 }

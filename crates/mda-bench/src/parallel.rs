@@ -5,12 +5,18 @@
 //! harness scales with cores. This module provides the fan-out layer the
 //! experiments submit their cells through:
 //!
-//! * [`par_map`] — runs a closure over a slice on a scoped worker pool
-//!   (plain `std::thread::scope`; no external crates) and reassembles the
-//!   results **in input order**, so every table and CSV downstream is
-//!   byte-identical to a sequential run.
+//! * [`par_map`]/[`par_try_map`] — run a closure over a slice on a scoped
+//!   worker pool (plain `std::thread::scope`; no external crates) and
+//!   reassemble the results **in input order**, so every table and CSV
+//!   downstream is byte-identical to a sequential run. Each cell runs
+//!   under `catch_unwind`: a panicking cell is retried once, and a cell
+//!   that fails twice becomes an `Err` (the `try` variants) or aborts the
+//!   map (`par_map`, preserving its infallible contract) — it never
+//!   poisons the pool or takes the other cells down with it.
 //! * [`Cell`]/[`run_cells`] — the labeled `(kernel, input, system)` unit
-//!   the figure experiments fan out.
+//!   the figure experiments fan out. `run_cells` reports failures as
+//!   labeled [`CellFailure`]s so experiments render them as degraded
+//!   cells instead of crashing.
 //! * [`jobs`]/[`set_jobs`] — worker-count resolution: an explicit
 //!   [`set_jobs`] override (the `--jobs` CLI flag) beats the `MDA_JOBS`
 //!   environment variable, which beats
@@ -22,8 +28,9 @@
 use crate::experiments::run_kernel;
 use mda_sim::{SimReport, SystemConfig};
 use mda_workloads::Kernel;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, Once, OnceLock};
 
 /// Explicit worker-count override; 0 means "not set".
 static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -39,16 +46,24 @@ pub fn set_jobs(n: usize) {
 
 /// The worker count used by [`par_map`]: the [`set_jobs`] override if set,
 /// else a positive integer `MDA_JOBS` environment variable, else
-/// [`std::thread::available_parallelism`].
+/// [`std::thread::available_parallelism`]. A malformed or non-positive
+/// `MDA_JOBS` is ignored with a one-time warning on stderr.
 pub fn jobs() -> usize {
     let explicit = JOBS_OVERRIDE.load(Ordering::SeqCst);
     if explicit > 0 {
         return explicit;
     }
     if let Ok(v) = std::env::var("MDA_JOBS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
+        match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => return n,
+            _ => {
+                static WARNED: Once = Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "warning: ignoring MDA_JOBS='{v}' (expected a positive integer); \
+                         falling back to available parallelism"
+                    );
+                });
             }
         }
     }
@@ -61,8 +76,23 @@ pub fn take_cell_count() -> u64 {
     CELLS.swap(0, Ordering::SeqCst)
 }
 
+/// Best-effort rendering of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Maps `f` over `items` on [`jobs`] workers, returning results in input
 /// order.
+///
+/// # Panics
+/// Panics if a cell panics twice in a row (once plus the automatic retry);
+/// use [`par_try_map`] to handle failures gracefully.
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -73,34 +103,81 @@ where
 }
 
 /// Maps `f` over `items` on an explicit number of workers, returning
-/// results in input order.
+/// results in input order. Panic-isolation contract as in [`par_map`].
 ///
-/// With `workers <= 1` (or fewer than two items) the map runs inline on
-/// the calling thread — exactly the sequential harness. Otherwise a scoped
-/// pool of `min(workers, items.len())` threads claims items through a
-/// shared index counter and writes each result into its input slot; a
-/// panicking worker propagates the panic to the caller once the scope
-/// joins.
+/// # Panics
+/// Panics if a cell panics twice in a row.
 pub fn par_map_with<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    par_try_map_with(items, workers, f)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|msg| panic!("parallel cell failed after retry: {msg}")))
+        .collect()
+}
+
+/// Fallible variant of [`par_map`] on [`jobs`] workers: each cell's panic
+/// is isolated, retried once, and surfaced as `Err(message)` if it fails
+/// again.
+pub fn par_try_map<T, R, F>(items: &[T], f: F) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_try_map_with(items, jobs(), f)
+}
+
+/// Maps `f` over `items` on an explicit number of workers with panic
+/// isolation, returning per-item `Result`s in input order.
+///
+/// With `workers <= 1` (or fewer than two items) the map runs inline on
+/// the calling thread — exactly the sequential harness. Otherwise a scoped
+/// pool of `min(workers, items.len())` threads claims items through a
+/// shared index counter and writes each result into its input slot.
+///
+/// Each invocation of `f` runs under [`catch_unwind`]: a panicking cell is
+/// retried once (transient failures — e.g. resource exhaustion — recover),
+/// and a cell that panics twice resolves to `Err` with the panic message
+/// while every other cell's result is preserved.
+pub fn par_try_map_with<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
     CELLS.fetch_add(items.len() as u64, Ordering::SeqCst);
+    let attempt = |item: &T| -> Result<R, String> {
+        match catch_unwind(AssertUnwindSafe(|| f(item))) {
+            Ok(r) => Ok(r),
+            Err(payload) => {
+                eprintln!(
+                    "warning: harness cell panicked ({}); retrying once",
+                    panic_message(payload.as_ref())
+                );
+                catch_unwind(AssertUnwindSafe(|| f(item)))
+                    .map_err(|payload| panic_message(payload.as_ref()))
+            }
+        }
+    };
+
     let workers = workers.min(items.len());
     if workers <= 1 {
-        return items.iter().map(&f).collect();
+        return items.iter().map(attempt).collect();
     }
 
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<R, String>>>> =
+        items.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(item) = items.get(i) else { break };
-                let result = f(item);
+                let result = attempt(item);
                 *slots[i].lock().expect("result slot poisoned") = Some(result);
             });
         }
@@ -136,10 +213,52 @@ impl Cell {
     }
 }
 
-/// Simulates every cell on the worker pool, returning reports in cell
-/// order.
-pub fn run_cells(cells: &[Cell]) -> Vec<SimReport> {
-    par_map(cells, |c| run_kernel(c.kernel, c.n, &c.config))
+/// A cell that panicked twice and was rendered degraded instead of taking
+/// the run down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellFailure {
+    /// The failed cell's label.
+    pub label: String,
+    /// The panic message of the second (post-retry) failure.
+    pub message: String,
+}
+
+impl std::fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cell '{}' degraded: {}", self.label, self.message)
+    }
+}
+
+/// The outcome of one harness cell: a report, or a labeled failure.
+pub type CellResult = Result<SimReport, CellFailure>;
+
+/// Deliberate-failure hook for exercising the degraded-cell path end to
+/// end (used by `scripts/verify.sh`): when the `MDA_PANIC_CELL`
+/// environment variable is set, any cell whose label contains its value
+/// panics. Read once per process so the harness stays deterministic.
+fn deliberate_panic_check(label: &str) {
+    static PANIC_CELL: OnceLock<Option<String>> = OnceLock::new();
+    let target = PANIC_CELL
+        .get_or_init(|| std::env::var("MDA_PANIC_CELL").ok().filter(|s| !s.is_empty()));
+    if let Some(t) = target {
+        if label.contains(t.as_str()) {
+            panic!("deliberate MDA_PANIC_CELL failure in '{label}'");
+        }
+    }
+}
+
+/// Simulates every cell on the worker pool, returning per-cell outcomes in
+/// cell order. A cell that panics (twice, after the automatic retry) comes
+/// back as a labeled [`CellFailure`] with the other cells' reports intact.
+pub fn run_cells(cells: &[Cell]) -> Vec<CellResult> {
+    par_try_map(cells, |c| {
+        deliberate_panic_check(&c.label);
+        run_kernel(c.kernel, c.n, &c.config)
+    })
+    .into_iter()
+    .zip(cells)
+    .map(|(r, c)| r.map_err(|message| CellFailure { label: c.label.clone(), message }))
+    .collect()
 }
 
 #[cfg(test)]
@@ -189,5 +308,67 @@ mod tests {
         par_map_with(&[1, 2], 2, |x| *x);
         assert_eq!(take_cell_count(), 5);
         assert_eq!(take_cell_count(), 0);
+    }
+
+    #[test]
+    fn persistent_panic_degrades_only_its_cell() {
+        for workers in [1, 4] {
+            let items = [1u32, 13, 3];
+            let out = par_try_map_with(&items, workers, |x| {
+                if *x == 13 {
+                    panic!("unlucky cell {x}");
+                }
+                x * 2
+            });
+            assert_eq!(out[0], Ok(2), "workers={workers}");
+            assert_eq!(out[2], Ok(6), "workers={workers}");
+            let err = out[1].as_ref().expect_err("cell 13 must fail");
+            assert!(err.contains("unlucky cell 13"), "workers={workers}: {err}");
+        }
+    }
+
+    #[test]
+    fn transient_panic_is_retried_and_recovers() {
+        let flaked = AtomicUsize::new(0);
+        let out = par_try_map_with(&[7u32], 1, |x| {
+            if flaked.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("transient failure");
+            }
+            x + 1
+        });
+        assert_eq!(out, vec![Ok(8)]);
+        assert_eq!(flaked.load(Ordering::SeqCst), 2, "exactly one retry");
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel cell failed after retry")]
+    fn par_map_still_aborts_on_persistent_failure() {
+        let _ = par_map_with(&[1u32], 1, |_| -> u32 { panic!("always broken") });
+    }
+
+    #[test]
+    fn degraded_cell_keeps_neighbors_intact() {
+        // An invalid config panics inside MainMemory::new deterministically
+        // (both the first attempt and the retry), exercising the real
+        // degraded path without environment variables.
+        let good = SystemConfig::tiny(HierarchyKind::Baseline1P1L);
+        let mut bad = good.clone();
+        bad.mem.channels = 0;
+        let cells = [
+            Cell::new("ok/left", Kernel::Sgemm, 16, good.clone()),
+            Cell::new("broken/middle", Kernel::Sgemm, 16, bad),
+            Cell::new("ok/right", Kernel::Sgemm, 16, good),
+        ];
+        let out = run_cells(&cells);
+        assert!(out[0].is_ok());
+        assert!(out[2].is_ok());
+        let fail = out[1].as_ref().expect_err("invalid config must degrade");
+        assert_eq!(fail.label, "broken/middle");
+        assert!(
+            fail.message.contains("invalid SystemConfig") || fail.message.contains("invalid MemConfig"),
+            "unexpected message: {}",
+            fail.message
+        );
+        assert!(fail.to_string().contains("degraded"));
     }
 }

@@ -68,9 +68,14 @@ impl std::fmt::Display for TextTable {
     }
 }
 
-/// Formats a ratio with three decimals.
+/// Formats a ratio with three decimals; a NaN marks a degraded (failed)
+/// harness cell.
 pub fn fmt_ratio(v: f64) -> String {
-    format!("{v:.3}")
+    if v.is_nan() {
+        "degraded".to_string()
+    } else {
+        format!("{v:.3}")
+    }
 }
 
 /// Formats a percentage with one decimal.
@@ -107,6 +112,7 @@ mod tests {
     #[test]
     fn formatters() {
         assert_eq!(fmt_ratio(0.3333333), "0.333");
+        assert_eq!(fmt_ratio(f64::NAN), "degraded");
         assert_eq!(fmt_pct(0.725), "72.5%");
     }
 }

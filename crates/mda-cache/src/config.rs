@@ -1,6 +1,6 @@
 //! Cache-level configuration.
 
-use mda_mem::LINE_BYTES;
+use mda_mem::{ConfigError, LINE_BYTES};
 
 /// Set-index mapping for logically 2-D caches (paper Sec. IV-C, Design 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -121,24 +121,34 @@ impl CacheConfig {
 
     /// Validates the geometry.
     ///
+    /// Any associativity is legal (the reuse-distance model builds
+    /// fully-associative levels of arbitrary way counts, and the 1.5 MB
+    /// LLC yields a non-power-of-two set count), but the capacity must
+    /// hold a whole number of sets.
+    ///
     /// # Errors
-    /// Returns a message when sizes are not positive powers-of-two multiples
-    /// of the line/associativity granularity.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns a typed [`ConfigError`] when the capacity or associativity
+    /// is zero, when the capacity is not a multiple of the line-size ×
+    /// associativity, or when the cache has no MSHRs.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.assoc == 0 {
-            return Err("associativity must be non-zero".into());
+            return Err(ConfigError::Zero { field: "assoc" });
         }
-        if self.size_bytes == 0 || !self.size_bytes.is_multiple_of(LINE_BYTES * self.assoc as u64) {
-            return Err(format!(
-                "capacity {} must be a multiple of line size × associativity",
-                self.size_bytes
-            ));
+        if self.size_bytes == 0 {
+            return Err(ConfigError::Zero { field: "size_bytes" });
+        }
+        if !self.size_bytes.is_multiple_of(LINE_BYTES * self.assoc as u64) {
+            return Err(ConfigError::NotAMultiple {
+                field: "size_bytes",
+                value: self.size_bytes,
+                of: LINE_BYTES * self.assoc as u64,
+            });
         }
         if self.line_sets() == 0 {
-            return Err("cache must have at least one set".into());
+            return Err(ConfigError::Zero { field: "line_sets" });
         }
         if self.mshrs == 0 {
-            return Err("at least one MSHR is required".into());
+            return Err(ConfigError::Zero { field: "mshrs" });
         }
         Ok(())
     }
@@ -182,12 +192,36 @@ mod tests {
     fn invalid_geometry_rejected() {
         let mut c = CacheConfig::l1_32k();
         c.size_bytes = 1000;
-        assert!(c.validate().is_err());
+        assert!(matches!(c.validate(), Err(ConfigError::NotAMultiple { .. })));
         let mut c = CacheConfig::l1_32k();
         c.assoc = 0;
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::Zero { field: "assoc" }));
+        let mut c = CacheConfig::l1_32k();
+        c.size_bytes = 0;
+        assert_eq!(c.validate(), Err(ConfigError::Zero { field: "size_bytes" }));
         let mut c = CacheConfig::l1_32k();
         c.mshrs = 0;
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::Zero { field: "mshrs" }));
+    }
+
+    #[test]
+    fn unusual_but_legal_geometries_validate() {
+        // The reuse-distance validation builds fully-associative caches of
+        // arbitrary frame counts (e.g. 48 or 96 ways, one set).
+        for frames in [1usize, 4, 48, 96] {
+            let c = CacheConfig {
+                size_bytes: frames as u64 * LINE_BYTES,
+                assoc: frames,
+                tag_latency: 1,
+                data_latency: 1,
+                sequential_tag_data: false,
+                mshrs: 1,
+                write_penalty: 0,
+            };
+            assert_eq!(c.validate(), Ok(()), "{frames}-way fully-associative");
+            assert_eq!(c.line_sets(), 1);
+        }
+        // The 1.5 MB LLC has 3072 sets — not a power of two, still legal.
+        assert_eq!(CacheConfig::l3(1536 * 1024).validate(), Ok(()));
     }
 }

@@ -47,6 +47,11 @@ pub struct Bank {
     sub_buffers: usize,
     free_at: Cycle,
     tiles_per_array_row: u64,
+    /// Bank-local tiles that suffered an uncorrectable error and were
+    /// remapped to the bank's spare region. Accesses to these tiles pay a
+    /// remap-table lookup. Kept small (bounded by the configured spare
+    /// capacity), so a linear scan is fine.
+    remapped: Vec<u64>,
 }
 
 impl Bank {
@@ -72,7 +77,33 @@ impl Bank {
             sub_buffers,
             free_at: 0,
             tiles_per_array_row,
+            remapped: Vec::new(),
         }
+    }
+
+    /// True when `tile_in_bank` was remapped to the spare region.
+    pub fn is_remapped(&self, tile_in_bank: u64) -> bool {
+        self.remapped.contains(&tile_in_bank)
+    }
+
+    /// Remaps `tile_in_bank` to the spare region after an uncorrectable
+    /// error. Returns `false` when the spare capacity is exhausted (the
+    /// tile keeps operating degraded). Remapping an already-remapped tile
+    /// is a no-op returning `true`.
+    pub fn remap(&mut self, tile_in_bank: u64, spare_capacity: u32) -> bool {
+        if self.is_remapped(tile_in_bank) {
+            return true;
+        }
+        if self.remapped.len() >= spare_capacity as usize {
+            return false;
+        }
+        self.remapped.push(tile_in_bank);
+        true
+    }
+
+    /// Number of tiles this bank has remapped so far.
+    pub fn remapped_tiles(&self) -> usize {
+        self.remapped.len()
     }
 
     /// The physical buffer entry needed to serve `line` in this bank, given
@@ -302,6 +333,19 @@ mod tests {
     #[should_panic(expected = "at least one buffer")]
     fn zero_sub_buffers_rejected() {
         let _ = Bank::with_sub_buffers(128, 0);
+    }
+
+    #[test]
+    fn remap_honors_spare_capacity() {
+        let mut b = Bank::new(128);
+        assert!(!b.is_remapped(7));
+        assert!(b.remap(7, 2));
+        assert!(b.is_remapped(7));
+        assert!(b.remap(7, 2), "re-remapping is a no-op");
+        assert_eq!(b.remapped_tiles(), 1);
+        assert!(b.remap(9, 2));
+        assert!(!b.remap(11, 2), "spare region exhausted");
+        assert_eq!(b.remapped_tiles(), 2);
     }
 
     #[test]

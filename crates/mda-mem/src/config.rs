@@ -1,5 +1,7 @@
 //! Main-memory configuration.
 
+use crate::error::ConfigError;
+use crate::faults::FaultConfig;
 use crate::timing::MemTiming;
 
 /// Configuration of the MDA main memory (paper Table I: 1 GB/channel × 4
@@ -28,6 +30,9 @@ pub struct MemConfig {
     pub write_queue_high: usize,
     /// Drain target once the high watermark is hit.
     pub write_queue_low: usize,
+    /// Fault-injection / ECC model. `FaultConfig::none()` (the default)
+    /// keeps the controller byte-identical to the fault-free simulator.
+    pub faults: FaultConfig,
 }
 
 impl MemConfig {
@@ -44,12 +49,18 @@ impl MemConfig {
             write_queue_capacity: 64,
             write_queue_high: 48,
             write_queue_low: 16,
+            faults: FaultConfig::none(),
         }
     }
 
     /// Same organization with the 1.6× faster device of Fig. 17.
     pub fn paper_fast() -> MemConfig {
         MemConfig { timing: MemTiming::fast(), ..MemConfig::paper() }
+    }
+
+    /// The same configuration with a fault model attached.
+    pub fn with_faults(self, faults: FaultConfig) -> MemConfig {
+        MemConfig { faults, ..self }
     }
 
     /// Total number of banks across the whole memory.
@@ -60,31 +71,47 @@ impl MemConfig {
     /// Validates internal consistency.
     ///
     /// # Errors
-    /// Returns a human-readable message when a field combination is invalid
-    /// (zero-sized resources or inverted watermarks).
-    pub fn validate(&self) -> Result<(), String> {
-        if self.channels == 0 || self.ranks == 0 || self.banks == 0 {
-            return Err("channels, ranks and banks must all be non-zero".into());
+    /// Returns a typed [`ConfigError`] for zero-sized resources, non-power-
+    /// of-two geometry, inverted write-queue watermarks, or out-of-range
+    /// fault probabilities.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for (field, value) in [
+            ("channels", self.channels),
+            ("ranks", self.ranks),
+            ("banks", self.banks),
+            ("sub_buffers", self.sub_buffers),
+        ] {
+            if value == 0 {
+                return Err(ConfigError::Zero { field });
+            }
         }
         if self.tiles_per_array_row == 0 {
-            return Err("tiles_per_array_row must be non-zero".into());
+            return Err(ConfigError::Zero { field: "tiles_per_array_row" });
         }
-        if self.sub_buffers == 0 {
-            return Err("at least one buffer per orientation is required".into());
+        // The Fig. 8 address decode assumes power-of-two interleaving
+        // across channels and within a physical array row.
+        if !self.channels.is_power_of_two() {
+            return Err(ConfigError::NotPowerOfTwo {
+                field: "channels",
+                value: self.channels as u64,
+            });
         }
-        if self.write_queue_low >= self.write_queue_high {
-            return Err(format!(
-                "write queue low watermark {} must be below high watermark {}",
-                self.write_queue_low, self.write_queue_high
-            ));
+        if !self.tiles_per_array_row.is_power_of_two() {
+            return Err(ConfigError::NotPowerOfTwo {
+                field: "tiles_per_array_row",
+                value: self.tiles_per_array_row,
+            });
         }
-        if self.write_queue_high > self.write_queue_capacity {
-            return Err(format!(
-                "write queue high watermark {} exceeds capacity {}",
-                self.write_queue_high, self.write_queue_capacity
-            ));
+        if self.write_queue_low >= self.write_queue_high
+            || self.write_queue_high > self.write_queue_capacity
+        {
+            return Err(ConfigError::Watermarks {
+                low: self.write_queue_low,
+                high: self.write_queue_high,
+                capacity: self.write_queue_capacity,
+            });
         }
-        Ok(())
+        self.faults.validate()
     }
 }
 
@@ -109,12 +136,32 @@ mod tests {
     fn invalid_watermarks_are_rejected() {
         let mut c = MemConfig::paper();
         c.write_queue_low = c.write_queue_high;
-        assert!(c.validate().is_err());
+        assert!(matches!(c.validate(), Err(ConfigError::Watermarks { .. })));
         let mut c = MemConfig::paper();
         c.write_queue_high = c.write_queue_capacity + 1;
-        assert!(c.validate().is_err());
+        assert!(matches!(c.validate(), Err(ConfigError::Watermarks { .. })));
         let mut c = MemConfig::paper();
         c.banks = 0;
+        assert_eq!(c.validate(), Err(ConfigError::Zero { field: "banks" }));
+    }
+
+    #[test]
+    fn non_power_of_two_geometry_is_rejected() {
+        let mut c = MemConfig::paper();
+        c.channels = 3;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::NotPowerOfTwo { field: "channels", value: 3 })
+        );
+        let mut c = MemConfig::paper();
+        c.tiles_per_array_row = 100;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn bad_fault_probability_is_rejected() {
+        let mut c = MemConfig::paper();
+        c.faults.row.write_ber = 2.0;
+        assert!(matches!(c.validate(), Err(ConfigError::Probability { .. })));
     }
 }

@@ -8,12 +8,14 @@
 //! it crosses its high watermark, charging the drain work to the banks it
 //! targets — the first-order behaviour of a write-queue-flush policy.
 
-use crate::addr::{DecodedAddr, Orientation};
+use crate::addr::{DecodedAddr, Orientation, LINE_WORDS};
 use crate::bank::{Bank, BufferOutcome};
 use crate::channel::Channel;
 use crate::config::MemConfig;
+use crate::faults::FaultState;
 use crate::request::{MemCompletion, MemRequest, RequestKind};
 use crate::stats::MemStats;
+use crate::timing::MemTiming;
 use crate::Cycle;
 
 /// The MDA main memory: all channels, ranks and banks plus the controller
@@ -26,6 +28,7 @@ pub struct MainMemory {
     banks: Vec<Bank>,
     channels: Vec<Channel>,
     stats: MemStats,
+    faults: FaultState,
 }
 
 impl MainMemory {
@@ -42,7 +45,8 @@ impl MainMemory {
             .map(|_| Bank::with_sub_buffers(config.tiles_per_array_row, config.sub_buffers))
             .collect();
         let channels = (0..config.channels).map(|_| Channel::new()).collect();
-        MainMemory { config, banks, channels, stats: MemStats::default() }
+        let faults = FaultState::new(config.faults);
+        MainMemory { config, banks, channels, stats: MemStats::default(), faults }
     }
 
     /// The configuration the memory was built with.
@@ -95,6 +99,10 @@ impl MainMemory {
         if req.line.orient == Orientation::Col {
             start += t.col_decode_extra;
         }
+        if self.faults.enabled() && self.banks[bank_idx].is_remapped(d.tile_in_bank) {
+            start += self.config.faults.remap_penalty;
+            self.stats.remap_lookups += 1;
+        }
 
         // Write-queue-flush: if this channel's queue is over the high
         // watermark, drain down to the low watermark before serving the read.
@@ -112,7 +120,7 @@ impl MainMemory {
             self.stats.write_drain_stalls += 1;
         }
 
-        let (outcome, data_ready) =
+        let (outcome, mut data_ready) =
             self.banks[bank_idx].serve_read(d.tile_in_bank, &req.line, start, &t);
         match outcome {
             BufferOutcome::Hit => self.stats.buffer_hits += 1,
@@ -121,6 +129,21 @@ impl MainMemory {
                 self.stats.activations += 1;
             }
             BufferOutcome::Empty => self.stats.activations += 1,
+        }
+
+        if self.faults.enabled() {
+            let f = self.faults.sample_read(req.line.orient, LINE_WORDS as u32);
+            self.stats.raw_word_faults += u64::from(f.raw());
+            self.stats.ecc_corrected_words += u64::from(f.corrected);
+            if f.uncorrectable > 0 {
+                // Uncorrectable line: the controller re-reads the array
+                // (one full activation) to rule out a transient disturb,
+                // then retires the tile to the spare region.
+                self.stats.uncorrectable_lines += 1;
+                data_ready += t.closed_latency();
+                self.banks[bank_idx].reserve_until(data_ready);
+                self.degrade(bank_idx, d.tile_in_bank);
+            }
         }
 
         let (bus_start, burst_done) = self.channels[d.channel].reserve_bus(data_ready, t.burst);
@@ -138,21 +161,88 @@ impl MainMemory {
     fn write_req(&mut self, req: MemRequest, now: Cycle) -> MemCompletion {
         let t = self.config.timing;
         let d = self.decode(req.line.tile);
+        let bank_idx = self.bank_index(&d);
         self.stats.writes += 1;
         self.stats.bytes_written += req.bytes();
 
         // Posted write: accepted immediately unless the queue is physically
         // full, in which case one entry must drain first.
         let mut accept = now + t.controller_latency;
+        if self.faults.enabled() && self.banks[bank_idx].is_remapped(d.tile_in_bank) {
+            accept += self.config.faults.remap_penalty;
+            self.stats.remap_lookups += 1;
+        }
         if self.channels[d.channel].queued_writes() >= self.config.write_queue_capacity {
-            let bank_idx = self.bank_index(&d);
             self.channels[d.channel].drain_writes(1);
             let (_, done) =
                 self.banks[bank_idx].serve_write(d.tile_in_bank, &req.line, accept, &t);
             accept = done;
         }
         self.channels[d.channel].push_write();
+        if self.faults.enabled() {
+            self.verify_retry(bank_idx, d.tile_in_bank, &req, accept, &t);
+        }
         MemCompletion { done: accept, burst_done: accept, buffer_hit: false }
+    }
+
+    /// Write-verify-retry (runs when the fault model is enabled): sample
+    /// which words of the just-posted write failed to switch, retry them up
+    /// to `max_write_retries` times with exponential backoff, and charge the
+    /// retry cycles to the target bank so reliability costs surface as real
+    /// contention. Words still failing after the last retry are left to ECC:
+    /// single-bit residues are corrected, multi-bit residues retire the tile.
+    fn verify_retry(
+        &mut self,
+        bank_idx: usize,
+        tile_in_bank: u64,
+        req: &MemRequest,
+        accept: Cycle,
+        t: &MemTiming,
+    ) {
+        let orient = req.line.orient;
+        let mut failed = self.faults.sample_write_attempt(orient, u32::from(req.words));
+        if failed == 0 {
+            return;
+        }
+        self.stats.raw_word_faults += u64::from(failed);
+        let fcfg = self.config.faults;
+        let mut attempt = 0;
+        let mut extra = 0u64;
+        while failed > 0 && attempt < fcfg.max_write_retries {
+            attempt += 1;
+            extra += t.write_retry_cycles(attempt, fcfg.retry_backoff);
+            self.stats.write_retries += 1;
+            // Each retry rewrites only the still-failing words, each of
+            // which fails again independently.
+            failed = self.faults.sample_write_attempt(orient, failed);
+            self.stats.raw_word_faults += u64::from(failed);
+        }
+        if extra > 0 {
+            let free = self.banks[bank_idx].free_at().max(accept) + extra;
+            self.banks[bank_idx].reserve_until(free);
+        }
+        if failed > 0 {
+            let res = self.faults.classify_residual(orient, failed);
+            self.stats.ecc_corrected_words += u64::from(res.corrected);
+            if res.uncorrectable > 0 {
+                self.stats.uncorrectable_lines += 1;
+                self.degrade(bank_idx, tile_in_bank);
+            }
+        }
+    }
+
+    /// Graceful degradation after an uncorrectable error: remap the tile to
+    /// the bank's spare region if capacity remains; otherwise record the
+    /// exhaustion and keep running (the tile stays in service, degraded).
+    fn degrade(&mut self, bank_idx: usize, tile_in_bank: u64) {
+        if self.banks[bank_idx].is_remapped(tile_in_bank) {
+            return;
+        }
+        if self.banks[bank_idx].remap(tile_in_bank, self.config.faults.spare_tiles_per_bank) {
+            self.stats.tiles_remapped += 1;
+        } else {
+            self.stats.spare_exhausted += 1;
+        }
     }
 }
 
@@ -287,5 +377,112 @@ mod tests {
         let mut cfg = MemConfig::paper();
         cfg.channels = 0;
         let _ = MainMemory::new(cfg);
+    }
+
+    use crate::faults::FaultConfig;
+
+    #[test]
+    fn zero_rate_fault_config_is_identical_to_default() {
+        // A fault model with a seed but all-zero rates must not perturb a
+        // single cycle or counter.
+        let mut plain = MainMemory::new(MemConfig::paper());
+        let mut seeded = MainMemory::new(
+            MemConfig::paper().with_faults(FaultConfig::uniform(12345, 0.0, 0.0, 0.0)),
+        );
+        let mut now = 0;
+        for t in 0..64u64 {
+            let line = LineKey::new(t, if t % 2 == 0 { Orientation::Row } else { Orientation::Col }, (t % 8) as u8);
+            let a = plain.read(line, now);
+            let b = seeded.read(line, now);
+            assert_eq!(a, b);
+            let a = plain.write(line, 8, now);
+            let b = seeded.write(line, 8, now);
+            assert_eq!(a, b);
+            now = a.burst_done;
+        }
+        assert_eq!(plain.stats(), seeded.stats());
+        assert!(!plain.stats().reliability_active());
+    }
+
+    #[test]
+    fn write_retries_occupy_the_bank() {
+        // write_ber = 0.5 over 72-bit words makes every word fail its
+        // verify, so every write retries max_write_retries times.
+        let faulty_cfg = MemConfig::paper().with_faults(FaultConfig::uniform(1, 0.5, 0.0, 0.0));
+        let mut faulty = MainMemory::new(faulty_cfg);
+        let mut clean = MainMemory::new(MemConfig::paper());
+        let line = LineKey::new(0, Orientation::Row, 0);
+        faulty.write(line, 8, 0);
+        clean.write(line, 8, 0);
+        assert!(faulty.stats().write_retries > 0);
+        assert!(faulty.stats().raw_word_faults > 0);
+        // The retries must show up as bank occupancy: a follow-up read on
+        // the same bank completes later than on the clean memory.
+        let slow = faulty.read(line, 0);
+        let fast = clean.read(line, 0);
+        assert!(
+            slow.done > fast.done,
+            "retries should delay the next access ({} vs {})",
+            slow.done,
+            fast.done
+        );
+    }
+
+    #[test]
+    fn uncorrectable_read_remaps_tile_and_charges_lookups() {
+        // Retention BER 0.5: every read sees multi-bit faults, so the very
+        // first read retires its tile to the spare region.
+        let cfg = MemConfig::paper().with_faults(FaultConfig::uniform(3, 0.0, 0.0, 0.5));
+        let mut m = MainMemory::new(cfg);
+        let line = LineKey::new(0, Orientation::Row, 0);
+        m.read(line, 0);
+        assert_eq!(m.stats().uncorrectable_lines, 1);
+        assert_eq!(m.stats().tiles_remapped, 1);
+        assert_eq!(m.stats().remap_lookups, 0, "remap happens after the first access");
+        m.read(line, 10_000);
+        assert_eq!(m.stats().remap_lookups, 1, "second access pays the remap lookup");
+        // A remapped tile is not remapped again.
+        assert_eq!(m.stats().tiles_remapped, 1);
+    }
+
+    #[test]
+    fn spare_exhaustion_is_survivable() {
+        let mut fc = FaultConfig::uniform(5, 0.0, 0.0, 0.9);
+        fc.spare_tiles_per_bank = 2;
+        let mut m = MainMemory::new(MemConfig::paper().with_faults(fc));
+        // Touch many distinct tiles of bank 0 (tiles 0, 32, 64, … share a
+        // bank under the paper's decode for 4ch×1rank×8banks).
+        let cfg = *m.config();
+        let mut tiles = (0u64..)
+            .filter(|t| {
+                let d = crate::DecodedAddr::decode(*t, cfg.channels, cfg.ranks, cfg.banks);
+                d.channel == 0 && d.bank == 0
+            })
+            .take(6);
+        let mut now = 0;
+        for _ in 0..6 {
+            let t = tiles.next().unwrap();
+            let c = m.read(LineKey::new(t, Orientation::Row, 0), now);
+            now = c.burst_done;
+        }
+        assert_eq!(m.stats().tiles_remapped, 2, "spare capacity bounds remaps");
+        assert!(m.stats().spare_exhausted > 0, "overflow is counted, not fatal");
+    }
+
+    #[test]
+    fn fixed_seed_reproduces_fault_sequence() {
+        let cfg = MemConfig::paper().with_faults(FaultConfig::uniform(99, 1e-2, 1e-3, 1e-3));
+        let run = || {
+            let mut m = MainMemory::new(cfg);
+            let mut now = 0;
+            for t in 0..256u64 {
+                let line = LineKey::new(t % 16, Orientation::Row, (t % 8) as u8);
+                let c = m.read(line, now);
+                m.write(line, 8, now);
+                now = c.burst_done;
+            }
+            (*m.stats(), now)
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -34,6 +34,8 @@ pub mod channel;
 pub mod config;
 pub mod controller;
 pub mod crosspoint;
+pub mod error;
+pub mod faults;
 pub mod request;
 pub mod stats;
 pub mod timing;
@@ -44,6 +46,8 @@ pub use addr::{
 };
 pub use config::MemConfig;
 pub use controller::MainMemory;
+pub use error::ConfigError;
+pub use faults::{FaultConfig, FaultRates};
 pub use request::{MemCompletion, MemRequest, RequestKind};
 pub use stats::MemStats;
 pub use timing::MemTiming;

@@ -28,6 +28,9 @@ pub struct MemTiming {
     /// Cycles until the critical word of a burst is delivered
     /// (critical-word-first transfer, paper Sec. IV-B-d).
     pub crit_word: u64,
+    /// Read-back time to verify a just-written line (write-verify-retry;
+    /// a verify is a buffered read, cheaper than a fresh activation).
+    pub t_verify: u64,
 }
 
 impl MemTiming {
@@ -42,6 +45,7 @@ impl MemTiming {
             t_write: 150,
             burst: 16,
             crit_word: 4,
+            t_verify: 30,
         }
     }
 
@@ -67,7 +71,17 @@ impl MemTiming {
             t_write: s(self.t_write),
             burst: s(self.burst),
             crit_word: s(self.crit_word),
+            t_verify: s(self.t_verify),
         }
+    }
+
+    /// Cycles charged to the bank for write-verify retry `attempt`
+    /// (1-based): read back, rewrite, plus exponential backoff so repeated
+    /// failures space themselves out.
+    #[inline]
+    pub fn write_retry_cycles(&self, attempt: u32, backoff_base: u64) -> u64 {
+        let backoff = backoff_base.saturating_mul(1u64 << attempt.saturating_sub(1).min(16));
+        (self.t_verify + self.t_write).saturating_add(backoff)
     }
 
     /// Latency of a buffer hit (no activation needed), excluding bus time.
@@ -128,5 +142,16 @@ mod tests {
     #[should_panic(expected = "scale factor must be positive")]
     fn zero_scale_panics() {
         let _ = MemTiming::stt().scaled(0.0);
+    }
+
+    #[test]
+    fn retry_cycles_back_off_exponentially() {
+        let t = MemTiming::stt();
+        let base = t.t_verify + t.t_write;
+        assert_eq!(t.write_retry_cycles(1, 8), base + 8);
+        assert_eq!(t.write_retry_cycles(2, 8), base + 16);
+        assert_eq!(t.write_retry_cycles(3, 8), base + 32);
+        // Backoff saturates instead of overflowing for absurd attempts.
+        assert!(t.write_retry_cycles(80, u64::MAX) >= base);
     }
 }

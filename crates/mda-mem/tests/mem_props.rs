@@ -1,6 +1,6 @@
 //! Property tests for the MDA main-memory model.
 
-use mda_mem::{DecodedAddr, LineKey, MainMemory, MemConfig, MemRequest, Orientation};
+use mda_mem::{DecodedAddr, FaultConfig, LineKey, MainMemory, MemConfig, MemRequest, Orientation};
 use proptest::prelude::*;
 use std::collections::HashSet;
 
@@ -97,5 +97,62 @@ proptest! {
         let lat2 = second.done - first.burst_done;
         prop_assert!(lat2 <= lat1);
         prop_assert!(second.buffer_hit);
+    }
+
+    /// A fault model with every rate at zero is indistinguishable from no
+    /// fault model at all, whatever its seed: identical completion times
+    /// and identical statistics for any request mix.
+    #[test]
+    fn zero_fault_rates_change_nothing(
+        seed in any::<u64>(),
+        ops in proptest::collection::vec((line_strategy(512), 1u8..9, any::<bool>()), 1..48),
+    ) {
+        let mut plain = MainMemory::new(MemConfig::paper());
+        let mut gated = MainMemory::new(
+            MemConfig::paper().with_faults(FaultConfig::uniform(seed, 0.0, 0.0, 0.0)),
+        );
+        let mut now = 0u64;
+        for (line, words, is_write) in ops {
+            let req = if is_write {
+                MemRequest::write(line, words)
+            } else {
+                MemRequest::read(line)
+            };
+            let a = plain.access(req, now);
+            let b = gated.access(req, now);
+            prop_assert_eq!(a.done, b.done);
+            prop_assert_eq!(a.burst_done, b.burst_done);
+            now += 5;
+        }
+        prop_assert_eq!(plain.stats(), gated.stats());
+        prop_assert!(!gated.stats().reliability_active());
+    }
+
+    /// The fault model is a pure function of its seed and the access
+    /// stream: two memories configured identically observe the identical
+    /// fault sequence (the invariant behind worker-count-independent
+    /// reliability tables).
+    #[test]
+    fn identical_seeds_reproduce_identical_fault_sequences(
+        seed in any::<u64>(),
+        ops in proptest::collection::vec((line_strategy(128), 1u8..9, any::<bool>()), 1..48),
+    ) {
+        let cfg =
+            MemConfig::paper().with_faults(FaultConfig::uniform(seed, 0.05, 0.01, 0.005));
+        let mut a = MainMemory::new(cfg.clone());
+        let mut b = MainMemory::new(cfg);
+        let mut now = 0u64;
+        for (line, words, is_write) in ops {
+            let req = if is_write {
+                MemRequest::write(line, words)
+            } else {
+                MemRequest::read(line)
+            };
+            let ca = a.access(req, now);
+            let cb = b.access(req, now);
+            prop_assert_eq!(ca.done, cb.done);
+            now += 11;
+        }
+        prop_assert_eq!(a.stats(), b.stats());
     }
 }

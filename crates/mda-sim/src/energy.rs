@@ -47,7 +47,10 @@ impl EnergyModel {
         let pj = m.activations as f64 * self.activation_pj
             + (m.reads + m.writes) as f64 * self.buffer_access_pj
             + m.writes as f64 * self.array_write_pj
-            + m.total_bytes() as f64 * self.bus_pj_per_byte;
+            + m.total_bytes() as f64 * self.bus_pj_per_byte
+            // Each write-verify retry rereads the line from the buffer and
+            // rewrites the failing words into the array.
+            + m.write_retries as f64 * (self.buffer_access_pj + self.array_write_pj);
         pj / 1000.0
     }
 
@@ -117,6 +120,34 @@ mod tests {
         let t_base = model.total_energy_nj(&base, &level_kb(&base_cfg));
         let t_mda = model.total_energy_nj(&mda, &level_kb(&mda_cfg));
         assert!(t_mda < t_base);
+    }
+
+    fn write_walk(n: i64) -> Program {
+        let mut p = Program::new("writewalk");
+        let a = p.array("A", n as u64, n as u64);
+        p.add_nest(LoopNest {
+            loops: vec![Loop::constant(0, n), Loop::constant(0, n)],
+            refs: vec![ArrayRef::write(a, AffineExpr::var(0), AffineExpr::var(1))],
+            flops_per_iter: 1,
+        });
+        p
+    }
+
+    #[test]
+    fn write_retries_cost_energy() {
+        let p = write_walk(64);
+        let clean_cfg = SystemConfig::tiny(HierarchyKind::Baseline1P1L);
+        let faulty_cfg = clean_cfg
+            .clone()
+            .with_faults(mda_mem::FaultConfig::uniform(11, 0.02, 0.0, 0.0));
+        let clean = simulate(&p, &clean_cfg);
+        let faulty = simulate(&p, &faulty_cfg);
+        assert!(faulty.mem.write_retries > 0, "expected retries at 2% write BER");
+        let model = EnergyModel::stt();
+        assert!(
+            model.memory_energy_nj(&faulty) > model.memory_energy_nj(&clean),
+            "retries must show up in the energy bill"
+        );
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub use energy::EnergyModel;
 pub use hierarchy::Hierarchy;
 pub use multicore::{simulate_multicore, MulticoreReport};
 pub use occupancy::{OccupancySample, OccupancyTimeline};
+pub use mda_mem::{ConfigError, FaultConfig, FaultRates};
 pub use report::SimReport;
 pub use run::simulate;
 pub use system::{HierarchyKind, SystemConfig};

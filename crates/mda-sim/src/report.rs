@@ -114,6 +114,23 @@ impl SimReport {
             self.mem.writes,
             self.mem.total_bytes() / 1024,
         );
+        // Only rendered when the fault model actually fired, so fault-free
+        // runs stay byte-identical to the original report format.
+        if self.mem.reliability_active() {
+            let _ = writeln!(
+                out,
+                "  reliability: {} raw word faults (BER {:.2e}), {} ECC-corrected, \
+                 {} uncorrectable lines, {} write retries, {} tiles remapped \
+                 ({} remap lookups)",
+                self.mem.raw_word_faults,
+                self.mem.raw_word_fault_rate(),
+                self.mem.ecc_corrected_words,
+                self.mem.uncorrectable_lines,
+                self.mem.write_retries,
+                self.mem.tiles_remapped,
+                self.mem.remap_lookups,
+            );
+        }
         out
     }
 }
@@ -158,6 +175,20 @@ mod tests {
         assert!(out.contains("L2:"));
         assert!(out.contains("mem:"));
         assert_eq!(out, format!("{r}"));
+    }
+
+    #[test]
+    fn reliability_line_only_renders_when_faults_fired() {
+        let clean = report(100, 1);
+        assert!(!clean.render().contains("reliability:"));
+        let mut faulty = report(100, 1);
+        faulty.mem.raw_word_faults = 5;
+        faulty.mem.ecc_corrected_words = 4;
+        faulty.mem.write_retries = 2;
+        let out = faulty.render();
+        assert!(out.contains("reliability:"));
+        assert!(out.contains("5 raw word faults"));
+        assert!(out.contains("2 write retries"));
     }
 
     #[test]

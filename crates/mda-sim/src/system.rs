@@ -8,7 +8,7 @@ use mda_cache::{
     StridePrefetcher,
 };
 use mda_compiler::CodegenOptions;
-use mda_mem::{MainMemory, MemConfig};
+use mda_mem::{ConfigError, FaultConfig, MainMemory, MemConfig};
 
 /// The cache-hierarchy design points evaluated in the paper (Sec. IV-C).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -200,13 +200,40 @@ impl SystemConfig {
         self
     }
 
+    /// Attaches a main-memory fault model (reliability experiments).
+    pub fn with_faults(mut self, faults: FaultConfig) -> SystemConfig {
+        self.mem.faults = faults;
+        self
+    }
+
+    /// Validates every cache level and the memory organization.
+    ///
+    /// # Errors
+    /// Propagates the first [`ConfigError`] found, walking L1 → L2 → L3 →
+    /// memory.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.l1.validate()?;
+        self.l2.validate()?;
+        if let Some(l3) = &self.l3 {
+            l3.validate()?;
+        }
+        self.mem.validate()
+    }
+
     /// Number of cache levels.
     pub fn num_levels(&self) -> usize {
         2 + usize::from(self.l3.is_some())
     }
 
     /// Builds the hierarchy this configuration describes.
+    ///
+    /// # Panics
+    /// Panics if [`SystemConfig::validate`] rejects the configuration;
+    /// validate explicitly first to handle the error gracefully.
     pub fn build_hierarchy(&self) -> Hierarchy {
+        if let Err(e) = self.validate() {
+            panic!("invalid SystemConfig: {e}");
+        }
         let mut non_llc = vec![self.l1, self.l2];
         let llc_cfg = match self.l3 {
             Some(l3) => l3,
@@ -299,5 +326,43 @@ mod tests {
         let cfg = SystemConfig::paper(HierarchyKind::P2L2Sparse).with_llc_write_penalty(20);
         let h = cfg.build_hierarchy();
         assert_eq!(h.levels().last().expect("llc").config().write_penalty, 20);
+    }
+
+    #[test]
+    fn every_preset_validates() {
+        for kind in HierarchyKind::all() {
+            for llc in [1024 * 1024, 1536 * 1024, 2 * 1024 * 1024, 4 * 1024 * 1024] {
+                assert_eq!(SystemConfig::paper_with_llc(kind, llc).validate(), Ok(()));
+            }
+            assert_eq!(SystemConfig::paper_cache_resident(kind).validate(), Ok(()));
+            assert_eq!(SystemConfig::scaled(kind).validate(), Ok(()));
+            assert_eq!(SystemConfig::tiny(kind).validate(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_broken_levels_and_memory() {
+        let mut cfg = SystemConfig::tiny(HierarchyKind::Baseline1P1L);
+        cfg.l1.assoc = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::Zero { field: "assoc" }));
+        let mut cfg = SystemConfig::tiny(HierarchyKind::Baseline1P1L);
+        cfg.mem.channels = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::Zero { field: "channels" }));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SystemConfig")]
+    fn build_hierarchy_rejects_invalid_config() {
+        let mut cfg = SystemConfig::tiny(HierarchyKind::Baseline1P1L);
+        cfg.l2.mshrs = 0;
+        let _ = cfg.build_hierarchy();
+    }
+
+    #[test]
+    fn with_faults_reaches_the_memory_config() {
+        let fc = FaultConfig::uniform(7, 1e-4, 0.0, 0.0);
+        let cfg = SystemConfig::tiny(HierarchyKind::P2L2Sparse).with_faults(fc);
+        assert_eq!(cfg.mem.faults, fc);
+        assert_eq!(cfg.validate(), Ok(()));
     }
 }

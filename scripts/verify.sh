@@ -8,6 +8,11 @@
 #   2. full test suite (unit + integration + property tests)
 #   3. `figures all --scale tiny --jobs 2` smoke run, asserting the
 #      parallel harness produces output byte-identical to `--jobs 1`
+#   4. reliability smoke run: the seeded fault-injection sweep must be
+#      byte-identical across worker counts
+#   5. degraded-cell drill: a deliberately panicking cell (MDA_PANIC_CELL)
+#      must come back as "degraded" while the rest of the figure survives
+#      and the process exits zero
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,5 +32,31 @@ trap 'rm -rf "$TMP"' EXIT
 cmp "$TMP/out1.txt" "$TMP/out2.txt"
 diff -rq "$TMP/csv1" "$TMP/csv2"
 echo "parallel output byte-identical"
+
+echo "== smoke: seeded fault injection, --jobs 2 vs --jobs 4 =="
+SWEEP=target/release/sweep
+"$SWEEP" ber --scale tiny --jobs 2 >"$TMP/ber2.txt" 2>/dev/null
+"$SWEEP" ber --scale tiny --jobs 4 >"$TMP/ber4.txt" 2>/dev/null
+grep -q "ber=1e-3" "$TMP/ber2.txt"
+cmp "$TMP/ber2.txt" "$TMP/ber4.txt"
+"$FIGURES" ext_reliability --scale tiny --jobs 2 >"$TMP/rel.txt" 2>/dev/null
+grep -q "write retries" "$TMP/rel.txt"
+echo "reliability sweep reproducible across worker counts"
+
+echo "== smoke: deliberate panic degrades one cell, not the run =="
+MDA_PANIC_CELL=sgemm "$FIGURES" fig13 --scale tiny --jobs 2 \
+    >"$TMP/panic_out.txt" 2>"$TMP/panic_err.txt"
+grep -q "degraded" "$TMP/panic_out.txt"
+grep -q "retrying once" "$TMP/panic_err.txt"
+# The other kernels' cells must survive with real values.
+grep -vE "degraded|Average" "$TMP/panic_out.txt" | grep -qE "0\.[0-9]"
+echo "panicking cell isolated; neighbors intact; exit code 0"
+
+echo "== smoke: malformed MDA_JOBS warns instead of being ignored =="
+# fig13, not table1: the warning fires when the worker pool is consulted,
+# and table1 runs no simulation cells.
+MDA_JOBS=banana "$FIGURES" fig13 --scale tiny >/dev/null 2>"$TMP/jobs_err.txt"
+grep -q "ignoring MDA_JOBS" "$TMP/jobs_err.txt"
+echo "malformed MDA_JOBS produces a warning"
 
 echo "verify: OK"
