@@ -1,0 +1,203 @@
+//! Simulator-throughput benchmark (`figures --bench-sim`).
+//!
+//! Measures **steady-state accesses per second** — how many trace memory
+//! operations the simulator retires per wall-clock second — for every
+//! (design × kernel) cell, and writes the results as `BENCH_sim.json`.
+//! This seeds the perf trajectory the ROADMAP asks for: every future PR
+//! can rerun the benchmark and show its delta against the committed
+//! numbers.
+//!
+//! Methodology: each cell runs [`mda_sim::simulate`] end to end (trace
+//! generation + the full demand path) `reps` times and keeps the fastest
+//! repetition, so one scheduler hiccup cannot poison a cell. Cells run
+//! **sequentially** regardless of `--jobs`: throughput measurement needs
+//! an unloaded machine, and co-running cells would steal each other's
+//! cycles. The figure-of-merit is `mem_ops / seconds` of the fastest rep.
+
+use crate::experiments::run_kernel;
+use crate::Scale;
+use mda_sim::HierarchyKind;
+use mda_workloads::Kernel;
+use std::time::Instant;
+
+/// One measured (design × kernel) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchCell {
+    /// Design label (e.g. `2P2L`).
+    pub design: String,
+    /// Kernel name (e.g. `sgemm`).
+    pub kernel: String,
+    /// Trace memory operations retired per repetition.
+    pub mem_ops: u64,
+    /// Wall-clock seconds of the fastest repetition.
+    pub seconds: f64,
+    /// `mem_ops / seconds`.
+    pub accesses_per_sec: f64,
+}
+
+/// A full benchmark run: every design × kernel cell at one scale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Scale the cells ran at.
+    pub scale: Scale,
+    /// Repetitions per cell (fastest kept).
+    pub reps: u32,
+    /// Measured cells, designs outer, kernels inner.
+    pub cells: Vec<BenchCell>,
+}
+
+impl BenchReport {
+    /// The cell for `(design, kernel)`, if measured.
+    pub fn cell(&self, design: &str, kernel: &str) -> Option<&BenchCell> {
+        self.cells.iter().find(|c| c.design == design && c.kernel == kernel)
+    }
+
+    /// Renders the report as a JSON document (no external crates; the
+    /// format is stable: one object with a `cells` array).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"scale\": \"{}\",", self.scale);
+        let _ = writeln!(out, "  \"reps\": {},", self.reps);
+        let _ = writeln!(out, "  \"metric\": \"steady-state trace mem-ops per wall-clock second\",");
+        let _ = writeln!(out, "  \"cells\": [");
+        for (i, c) in self.cells.iter().enumerate() {
+            let comma = if i + 1 == self.cells.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "    {{\"design\": \"{}\", \"kernel\": \"{}\", \"mem_ops\": {}, \
+                 \"seconds\": {:.6}, \"accesses_per_sec\": {:.1}}}{}",
+                c.design, c.kernel, c.mem_ops, c.seconds, c.accesses_per_sec, comma
+            );
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// Renders an aligned text summary (design rows × kernel columns, in
+    /// millions of accesses per second).
+    pub fn render(&self) -> String {
+        let kernels: Vec<&str> = Kernel::all().iter().map(|k| k.name()).collect();
+        let mut header = vec!["design".to_string()];
+        header.extend(kernels.iter().map(|k| k.to_string()));
+        let mut t = crate::table::TextTable::new(header);
+        for kind in HierarchyKind::all() {
+            let mut row = vec![kind.name().to_string()];
+            for k in &kernels {
+                let v = self
+                    .cell(kind.name(), k)
+                    .map(|c| format!("{:.2}", c.accesses_per_sec / 1e6))
+                    .unwrap_or_else(|| "-".to_string());
+                row.push(v);
+            }
+            t.push_row(row);
+        }
+        format!("Simulator throughput (M accesses/s), scale {}\n{}", self.scale, t.render())
+    }
+}
+
+/// Runs the throughput benchmark: every design × kernel at `scale`,
+/// `reps` repetitions per cell (fastest kept). Cells run sequentially.
+pub fn run(scale: Scale, reps: u32) -> BenchReport {
+    run_filtered(scale, reps, None)
+}
+
+/// [`run`] restricted to cells whose `design/kernel` label contains
+/// `filter` (used for quick single-cell deltas while optimizing).
+pub fn run_filtered(scale: Scale, reps: u32, filter: Option<&str>) -> BenchReport {
+    assert!(reps > 0, "need at least one repetition");
+    let n = scale.input();
+    let mut cells = Vec::new();
+    for kind in HierarchyKind::all() {
+        let cfg = scale.system(kind);
+        for kernel in Kernel::all() {
+            if let Some(f) = filter {
+                if !format!("{}/{}", kind.name(), kernel.name()).contains(f) {
+                    continue;
+                }
+            }
+            let mut best = f64::INFINITY;
+            let mut mem_ops = 0;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                let report = run_kernel(kernel, n, &cfg);
+                let secs = t0.elapsed().as_secs_f64();
+                mem_ops = report.ops.mem_ops;
+                if secs < best {
+                    best = secs;
+                }
+            }
+            eprintln!(
+                "[bench-sim] {}/{}: {} mem-ops in {:.3}s ({:.2} M acc/s)",
+                kind.name(),
+                kernel.name(),
+                mem_ops,
+                best,
+                mem_ops as f64 / best / 1e6
+            );
+            cells.push(BenchCell {
+                design: kind.name().to_string(),
+                kernel: kernel.name().to_string(),
+                mem_ops,
+                seconds: best,
+                accesses_per_sec: mem_ops as f64 / best,
+            });
+        }
+    }
+    BenchReport { scale, reps, cells }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_well_formed_and_complete() {
+        let report = BenchReport {
+            scale: Scale::Tiny,
+            reps: 1,
+            cells: vec![BenchCell {
+                design: "2P2L".into(),
+                kernel: "sgemm".into(),
+                mem_ops: 1000,
+                seconds: 0.5,
+                accesses_per_sec: 2000.0,
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"accesses_per_sec\": 2000.0"));
+        assert!(json.contains("\"cells\": ["));
+        assert_eq!(json.matches("\"design\"").count(), 1);
+        assert!(report.cell("2P2L", "sgemm").is_some());
+        assert!(report.cell("2P2L", "htap").is_none());
+    }
+
+    #[test]
+    fn render_lists_every_design_row() {
+        let report = run_smoke_like();
+        let text = report.render();
+        for kind in HierarchyKind::all() {
+            assert!(text.contains(kind.name()), "missing {}: {text}", kind.name());
+        }
+    }
+
+    /// A minimal in-process run: one design, smallest kernel set is fixed,
+    /// so build a report by hand instead of running 42 simulations in unit
+    /// tests.
+    fn run_smoke_like() -> BenchReport {
+        let cells = HierarchyKind::all()
+            .iter()
+            .map(|kind| BenchCell {
+                design: kind.name().to_string(),
+                kernel: "sgemm".to_string(),
+                mem_ops: 10,
+                seconds: 1.0,
+                accesses_per_sec: 10.0,
+            })
+            .collect();
+        BenchReport { scale: Scale::Tiny, reps: 1, cells }
+    }
+}

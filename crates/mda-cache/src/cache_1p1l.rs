@@ -42,7 +42,7 @@ impl Cache1P1L {
 
     fn set_of(&self, line: &LineKey) -> usize {
         debug_assert_eq!(line.orient, Orientation::Row);
-        ((line.tile * 8 + u64::from(line.idx)) % self.array.num_sets() as u64) as usize
+        self.array.set_index(line.tile * 8 + u64::from(line.idx))
     }
 
     /// The row line a given access resolves to on this organization.
@@ -65,7 +65,8 @@ impl Cache1P1L {
 }
 
 impl CacheLevel for Cache1P1L {
-    fn probe(&mut self, acc: &Access) -> Probe {
+    fn probe_into(&mut self, acc: &Access, out: &mut Probe) {
+        out.reset();
         let line = Self::target_line(acc);
         let set = self.set_of(&line);
         let hit = if let Some(meta) = self.array.get_mut(set, line) {
@@ -80,37 +81,39 @@ impl CacheLevel for Cache1P1L {
             false
         };
         self.stats.note_access(acc, hit);
-        if hit {
-            Probe::hit()
-        } else {
-            Probe::miss(line)
+        if !hit {
+            out.hit = false;
+            out.fills.push(line);
         }
     }
 
-    fn fill(&mut self, line: LineKey, dirty: u8) -> Vec<Writeback> {
+    fn fill(&mut self, line: LineKey, dirty: u8, out: &mut Vec<Writeback>) {
         debug_assert_eq!(line.orient, Orientation::Row, "1P1L holds row lines only");
         let set = self.set_of(&line);
         if let Some(meta) = self.array.get_mut(set, line) {
             meta.dirty |= dirty;
-            return Vec::new();
+            return;
         }
         self.stats.demand_fills += 1;
-        match self.array.insert(set, line, LineMeta { dirty }) {
-            Some((vk, vm)) => Self::wb(vk, vm).into_iter().collect(),
-            None => Vec::new(),
+        if let Some((vk, vm)) = self.array.insert(set, line, LineMeta { dirty }) {
+            out.extend(Self::wb(vk, vm));
         }
     }
 
-    fn absorb_writeback(&mut self, wb: &Writeback) -> Option<Vec<Writeback>> {
+    fn absorb_writeback(&mut self, wb: &Writeback, _cascades: &mut Vec<Writeback>) -> bool {
         // A column-oriented writeback from a 2-D upper level cannot be
         // absorbed by a 1-D array; the hierarchy re-orients it first.
         if wb.line.orient != Orientation::Row {
-            return None;
+            return false;
         }
         let set = self.set_of(&wb.line);
-        let meta = self.array.get_mut(set, wb.line)?;
-        meta.dirty |= wb.dirty;
-        Some(Vec::new())
+        match self.array.get_mut(set, wb.line) {
+            Some(meta) => {
+                meta.dirty |= wb.dirty;
+                true
+            }
+            None => false,
+        }
     }
 
     fn contains_line(&self, line: &LineKey) -> bool {
@@ -133,18 +136,8 @@ impl CacheLevel for Cache1P1L {
         &self.config
     }
 
-    fn flush(&mut self) -> Vec<Writeback> {
-        let mut wbs = Vec::new();
-        let sets = self.array.num_sets();
-        for set in 0..sets {
-            let resident: Vec<LineKey> = self.array.iter_set(set).map(|(k, _)| *k).collect();
-            for key in resident {
-                if let Some(meta) = self.array.remove(set, key) {
-                    wbs.extend(Self::wb(key, meta));
-                }
-            }
-        }
-        wbs
+    fn flush(&mut self, out: &mut Vec<Writeback>) {
+        self.array.drain_all(|_set, key, meta| out.extend(Self::wb(key, meta)));
     }
 
     fn for_each_line(&self, f: &mut dyn FnMut(LineKey, u8)) {
@@ -157,6 +150,7 @@ impl CacheLevel for Cache1P1L {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::level::CacheLevelExt;
     use mda_mem::WordAddr;
 
     fn small() -> Cache1P1L {
@@ -173,7 +167,7 @@ mod tests {
         let p = c.probe(&acc);
         assert!(!p.hit);
         assert_eq!(p.fills, vec![LineKey::new(0, Orientation::Row, 1)]);
-        assert!(c.fill(p.fills[0], 0).is_empty());
+        assert!(c.fill_collect(p.fills[0], 0).is_empty());
         assert!(c.probe(&acc).hit);
         assert_eq!(c.stats().hits, 1);
         assert_eq!(c.stats().misses, 1);
@@ -191,7 +185,7 @@ mod tests {
     fn write_marks_word_dirty_and_eviction_writes_back() {
         let mut c = small();
         let line = LineKey::new(0, Orientation::Row, 0);
-        c.fill(line, 0);
+        c.fill_collect(line, 0);
         let w = Access::scalar_write(line.word_at(3), Orientation::Row, 0);
         assert!(c.probe(&w).hit);
         // Evict by filling 4 conflicting lines into the same set (16 sets:
@@ -199,7 +193,7 @@ mod tests {
         let mut wbs = Vec::new();
         for k in 1..=4u64 {
             // Same set: tile*8+idx ≡ 0 mod 16 → tile = 2k.
-            wbs.extend(c.fill(LineKey::new(2 * k, Orientation::Row, 0), 0));
+            c.fill(LineKey::new(2 * k, Orientation::Row, 0), 0, &mut wbs);
         }
         assert_eq!(wbs.len(), 1);
         assert_eq!(wbs[0].line, line);
@@ -210,9 +204,9 @@ mod tests {
     fn vector_row_write_dirties_whole_line() {
         let mut c = small();
         let line = LineKey::new(1, Orientation::Row, 2);
-        c.fill(line, 0);
+        c.fill_collect(line, 0);
         assert!(c.probe(&Access::vector_write(line, 0)).hit);
-        let wbs = c.flush();
+        let wbs = c.flush_collect();
         assert_eq!(wbs.len(), 1);
         assert_eq!(wbs[0].dirty, 0xFF);
     }
@@ -228,20 +222,20 @@ mod tests {
     fn absorb_writeback_updates_resident_line() {
         let mut c = small();
         let line = LineKey::new(0, Orientation::Row, 0);
-        c.fill(line, 0);
-        assert!(c.absorb_writeback(&Writeback { line, dirty: 0x0F }).is_some());
-        let wbs = c.flush();
+        c.fill_collect(line, 0);
+        assert!(c.absorb_collect(&Writeback { line, dirty: 0x0F }).is_some());
+        let wbs = c.flush_collect();
         assert_eq!(wbs[0].dirty, 0x0F);
         // Absent line: not absorbed.
-        assert!(c.absorb_writeback(&Writeback { line, dirty: 0x01 }).is_none());
+        assert!(c.absorb_collect(&Writeback { line, dirty: 0x01 }).is_none());
     }
 
     #[test]
     fn occupancy_counts_lines() {
         let mut c = small();
         assert_eq!(c.occupancy(), (0, 0, 64));
-        c.fill(LineKey::new(0, Orientation::Row, 0), 0);
-        c.fill(LineKey::new(0, Orientation::Row, 1), 0);
+        c.fill_collect(LineKey::new(0, Orientation::Row, 0), 0);
+        c.fill_collect(LineKey::new(0, Orientation::Row, 1), 0);
         assert_eq!(c.occupancy(), (2, 0, 64));
     }
 
@@ -250,8 +244,8 @@ mod tests {
         let mut c = small();
         let acc = Access::scalar_read(WordAddr::from_tile_coords(0, 0, 0), Orientation::Row, 0);
         c.probe(&acc);
-        c.fill(LineKey::new(0, Orientation::Row, 0), 0xFF);
-        let wbs = c.flush();
+        c.fill_collect(LineKey::new(0, Orientation::Row, 0), 0xFF);
+        let wbs = c.flush_collect();
         assert_eq!(wbs.len(), 1);
         assert_eq!(c.occupancy().0, 0);
         assert_eq!(c.stats().misses, 1);

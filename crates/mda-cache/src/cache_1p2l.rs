@@ -20,7 +20,7 @@
 //! false sharing from inflating writeback traffic.
 
 use crate::config::{CacheConfig, SetMapping};
-use crate::level::{Access, AccessWidth, CacheLevel, Probe, Writeback};
+use crate::level::{Access, AccessWidth, CacheLevel, Probe, Writeback, WritebackSink};
 use crate::set_array::SetArray;
 use crate::stats::CacheStats;
 use mda_mem::{LineKey, TILE_LINES};
@@ -31,12 +31,61 @@ struct LineMeta {
     dirty: u8,
 }
 
+/// Number of slots in the [`TileFilter`] (power of two).
+const FILTER_SLOTS: usize = 4096;
+
+/// Counting filter over resident lines, one lane per orientation, indexed
+/// by the masked tile id. A zero count proves no line of that orientation
+/// of that tile is resident, which lets the duplicate-policy paths skip
+/// their up-to-eight intersection probes; a collision merely fails to skip
+/// probes that would have found nothing, so the filter never changes an
+/// outcome.
+#[derive(Debug, Clone)]
+struct TileFilter {
+    counts: [Vec<u32>; 2],
+}
+
+impl TileFilter {
+    fn new() -> TileFilter {
+        TileFilter { counts: [vec![0; FILTER_SLOTS], vec![0; FILTER_SLOTS]] }
+    }
+
+    #[inline]
+    fn slot(tile: u64) -> usize {
+        tile as usize & (FILTER_SLOTS - 1)
+    }
+
+    #[inline]
+    fn add(&mut self, line: &LineKey) {
+        self.counts[line.orient as usize][Self::slot(line.tile)] += 1;
+    }
+
+    #[inline]
+    fn remove(&mut self, line: &LineKey) {
+        self.counts[line.orient as usize][Self::slot(line.tile)] -= 1;
+    }
+
+    /// Whether a line of `orient` from `tile` *may* be resident. `false`
+    /// is definitive; `true` may be a collision.
+    #[inline]
+    fn may_contain(&self, orient: mda_mem::Orientation, tile: u64) -> bool {
+        self.counts[orient as usize][Self::slot(tile)] != 0
+    }
+
+    fn clear(&mut self) {
+        for lane in &mut self.counts {
+            lane.iter_mut().for_each(|c| *c = 0);
+        }
+    }
+}
+
 /// The logically 2-D, physically 1-D cache.
 #[derive(Debug, Clone)]
 pub struct Cache1P2L {
     config: CacheConfig,
     mapping: SetMapping,
     array: SetArray<LineKey, LineMeta>,
+    filter: TileFilter,
     row_lines: usize,
     col_lines: usize,
     stats: CacheStats,
@@ -52,7 +101,15 @@ impl Cache1P2L {
             panic!("invalid CacheConfig: {msg}");
         }
         let array = SetArray::new(config.line_sets(), config.assoc);
-        Cache1P2L { config, mapping, array, row_lines: 0, col_lines: 0, stats: CacheStats::default() }
+        Cache1P2L {
+            config,
+            mapping,
+            array,
+            filter: TileFilter::new(),
+            row_lines: 0,
+            col_lines: 0,
+            stats: CacheStats::default(),
+        }
     }
 
     /// The index mapping in use.
@@ -61,10 +118,9 @@ impl Cache1P2L {
     }
 
     fn set_of(&self, line: &LineKey) -> usize {
-        let sets = self.array.num_sets() as u64;
         match self.mapping {
-            SetMapping::DifferentSet => ((line.tile * 8 + u64::from(line.idx)) % sets) as usize,
-            SetMapping::SameSet => (line.tile % sets) as usize,
+            SetMapping::DifferentSet => self.array.set_index(line.tile * 8 + u64::from(line.idx)),
+            SetMapping::SameSet => self.array.set_index(line.tile),
         }
     }
 
@@ -79,10 +135,23 @@ impl Cache1P2L {
     }
 
     fn present(&self, line: &LineKey) -> bool {
-        self.array.peek(self.set_of(line), *line).is_some()
+        self.filter.may_contain(line.orient, line.tile)
+            && self.array.peek(self.set_of(line), *line).is_some()
+    }
+
+    /// `get_mut` gated by the tile filter: a zero count proves the miss
+    /// without scanning the set (and a missed `get_mut` has no side
+    /// effects, so skipping it changes nothing).
+    fn lookup_mut(&mut self, line: &LineKey) -> Option<&mut LineMeta> {
+        if !self.filter.may_contain(line.orient, line.tile) {
+            return None;
+        }
+        let set = self.set_of(line);
+        self.array.get_mut(set, *line)
     }
 
     fn note_line_removed(&mut self, line: &LineKey) {
+        self.filter.remove(line);
         match line.orient {
             mda_mem::Orientation::Row => self.row_lines -= 1,
             mda_mem::Orientation::Col => self.col_lines -= 1,
@@ -90,6 +159,7 @@ impl Cache1P2L {
     }
 
     fn note_line_added(&mut self, line: &LineKey) {
+        self.filter.add(line);
         match line.orient {
             mda_mem::Orientation::Row => self.row_lines += 1,
             mda_mem::Orientation::Col => self.col_lines += 1,
@@ -97,7 +167,7 @@ impl Cache1P2L {
     }
 
     /// Removes `line`, emitting a writeback if it holds dirty words.
-    fn evict_line(&mut self, line: LineKey, out: &mut Vec<Writeback>) {
+    fn evict_line(&mut self, line: LineKey, out: &mut impl WritebackSink) {
         let set = self.set_of(&line);
         if let Some(meta) = self.array.remove(set, line) {
             self.note_line_removed(&line);
@@ -105,14 +175,14 @@ impl Cache1P2L {
             if meta.dirty != 0 {
                 self.stats.dup_writebacks += 1;
                 self.stats.writebacks_out += 1;
-                out.push(Writeback { line, dirty: meta.dirty });
+                out.push_wb(Writeback { line, dirty: meta.dirty });
             }
         }
     }
 
     /// Cleans `line` in place (Fig. 9: Modified → Clean on
     /// read-to-duplicate), emitting the writeback of its dirty words.
-    fn clean_line(&mut self, line: LineKey, out: &mut Vec<Writeback>) {
+    fn clean_line(&mut self, line: LineKey, out: &mut impl WritebackSink) {
         let set = self.set_of(&line);
         if let Some(meta) = self.array.get_mut(set, line) {
             if meta.dirty != 0 {
@@ -120,7 +190,7 @@ impl Cache1P2L {
                 meta.dirty = 0;
                 self.stats.dup_writebacks += 1;
                 self.stats.writebacks_out += 1;
-                out.push(Writeback { line, dirty });
+                out.push_wb(Writeback { line, dirty });
             }
         }
     }
@@ -129,7 +199,12 @@ impl Cache1P2L {
     /// pre-modified: intersecting other-orientation lines are cleaned when
     /// the new copy is a read duplicate, and evicted when the corresponding
     /// word is being modified.
-    fn resolve_intersections(&mut self, line: &LineKey, dirty: u8, out: &mut Vec<Writeback>) {
+    fn resolve_intersections(&mut self, line: &LineKey, dirty: u8, out: &mut impl WritebackSink) {
+        // No other-orientation line of this tile resident → nothing can
+        // intersect; skip the eight probes.
+        if !self.filter.may_contain(line.orient.other(), line.tile) {
+            return;
+        }
         for off in 0..TILE_LINES as u8 {
             let word = line.word_at(off);
             let other = line.intersecting_at(word);
@@ -157,15 +232,18 @@ impl Cache1P2L {
 
     /// Applies a demand write to a resident line, enforcing the duplicate
     /// policy on every written word.
-    fn write_resident(&mut self, line: LineKey, mask: u8, out: &mut Vec<Writeback>) {
-        // Evict other copies of the written words first.
-        for off in 0..TILE_LINES as u8 {
-            if mask & (1 << off) == 0 {
-                continue;
-            }
-            let other = line.intersecting_at(line.word_at(off));
-            if self.present(&other) {
-                self.evict_line(other, out);
+    fn write_resident(&mut self, line: LineKey, mask: u8, out: &mut impl WritebackSink) {
+        // Evict other copies of the written words first (skipped outright
+        // when the filter proves no intersecting line is resident).
+        if self.filter.may_contain(line.orient.other(), line.tile) {
+            for off in 0..TILE_LINES as u8 {
+                if mask & (1 << off) == 0 {
+                    continue;
+                }
+                let other = line.intersecting_at(line.word_at(off));
+                if self.present(&other) {
+                    self.evict_line(other, out);
+                }
             }
         }
         let set = self.set_of(&line);
@@ -176,9 +254,9 @@ impl Cache1P2L {
 }
 
 impl CacheLevel for Cache1P2L {
-    fn probe(&mut self, acc: &Access) -> Probe {
+    fn probe_into(&mut self, acc: &Access, out: &mut Probe) {
+        out.reset();
         let preferred = acc.preferred_line();
-        let mut probe = Probe::hit();
 
         match acc.width {
             AccessWidth::Vector => {
@@ -187,29 +265,26 @@ impl CacheLevel for Cache1P2L {
                     self.stats.note_access(acc, hit);
                     if hit {
                         // Both orientations must be checked on writes.
-                        probe.extra_tag_accesses += self.cross_check_cost(TILE_LINES as u32);
-                        let mut wbs = Vec::new();
-                        self.write_resident(preferred, 0xFF, &mut wbs);
-                        probe.writebacks = wbs;
+                        out.extra_tag_accesses += self.cross_check_cost(TILE_LINES as u32);
+                        self.write_resident(preferred, 0xFF, &mut out.writebacks);
                     } else {
-                        probe.hit = false;
-                        probe.fills = vec![preferred];
-                        probe.extra_tag_accesses += self.cross_check_cost(TILE_LINES as u32);
+                        out.hit = false;
+                        out.fills.push(preferred);
+                        out.extra_tag_accesses += self.cross_check_cost(TILE_LINES as u32);
                     }
                 } else {
                     // Vector hits require the correctly aligned line; one
                     // `get_mut` both probes and refreshes recency (misses
                     // leave the LRU clock untouched).
-                    let set = self.set_of(&preferred);
-                    let hit = self.array.get_mut(set, preferred).is_some();
+                    let hit = self.lookup_mut(&preferred).is_some();
                     self.stats.note_access(acc, hit);
                     if !hit {
                         // Miss: the up-to-eight intersecting lines of the
                         // other orientation are checked for dirty data to
                         // propagate.
-                        probe.hit = false;
-                        probe.fills = vec![preferred];
-                        probe.extra_tag_accesses += self.cross_check_cost(TILE_LINES as u32);
+                        out.hit = false;
+                        out.fills.push(preferred);
+                        out.extra_tag_accesses += self.cross_check_cost(TILE_LINES as u32);
                     }
                 }
             }
@@ -218,46 +293,40 @@ impl CacheLevel for Cache1P2L {
                     let off = preferred.offset_of(acc.word).expect("word within preferred line");
                     let other = preferred.intersecting_at(acc.word);
                     // Writes always check both orientations.
-                    probe.extra_tag_accesses += self.cross_check_cost(1);
+                    out.extra_tag_accesses += self.cross_check_cost(1);
                     if self.present(&preferred) {
-                        let mut wbs = Vec::new();
-                        self.write_resident(preferred, 1 << off, &mut wbs);
-                        probe.writebacks = wbs;
+                        self.write_resident(preferred, 1 << off, &mut out.writebacks);
                         self.stats.note_access(acc, true);
                     } else if self.present(&other) {
                         // Mis-oriented write hit: the word's sole copy lives
                         // in the other orientation; modify it there.
                         let other_off =
                             other.offset_of(acc.word).expect("intersection is on the line");
-                        let mut wbs = Vec::new();
-                        self.write_resident(other, 1 << other_off, &mut wbs);
-                        probe.writebacks = wbs;
+                        self.write_resident(other, 1 << other_off, &mut out.writebacks);
                         self.stats.misoriented_hits += 1;
                         self.stats.note_access(acc, true);
                     } else {
-                        probe.hit = false;
-                        probe.fills = vec![preferred];
+                        out.hit = false;
+                        out.fills.push(preferred);
                         self.stats.note_access(acc, false);
                     }
                 } else {
                     // Reads probe the preferred orientation with a single
                     // scan that also refreshes recency on a hit.
-                    let pref_set = self.set_of(&preferred);
-                    if self.array.get_mut(pref_set, preferred).is_some() {
+                    if self.lookup_mut(&preferred).is_some() {
                         self.stats.note_access(acc, true);
                     } else {
                         // Hit in the non-preferred orientation after a
                         // preferred miss costs one extra sequential tag
                         // access (Different-Set).
-                        probe.extra_tag_accesses += self.cross_check_cost(1);
+                        out.extra_tag_accesses += self.cross_check_cost(1);
                         let other = preferred.intersecting_at(acc.word);
-                        let other_set = self.set_of(&other);
-                        if self.array.get_mut(other_set, other).is_some() {
+                        if self.lookup_mut(&other).is_some() {
                             self.stats.misoriented_hits += 1;
                             self.stats.note_access(acc, true);
                         } else {
-                            probe.hit = false;
-                            probe.fills = vec![preferred];
+                            out.hit = false;
+                            out.fills.push(preferred);
                             self.stats.note_access(acc, false);
                         }
                     }
@@ -265,23 +334,21 @@ impl CacheLevel for Cache1P2L {
             }
         }
 
-        self.stats.extra_tag_accesses += u64::from(probe.extra_tag_accesses);
-        probe
+        self.stats.extra_tag_accesses += u64::from(out.extra_tag_accesses);
     }
 
-    fn fill(&mut self, line: LineKey, dirty: u8) -> Vec<Writeback> {
-        let mut out = Vec::new();
-        let set = self.set_of(&line);
-        if let Some(meta) = self.array.get_mut(set, line) {
+    fn fill(&mut self, line: LineKey, dirty: u8, out: &mut Vec<Writeback>) {
+        if let Some(meta) = self.lookup_mut(&line) {
             // Already resident (e.g. race with a coalesced fill): merge.
             meta.dirty |= dirty;
             if dirty != 0 {
-                self.resolve_intersections(&line, dirty, &mut out);
+                self.resolve_intersections(&line, dirty, out);
             }
-            return out;
+            return;
         }
+        let set = self.set_of(&line);
 
-        self.resolve_intersections(&line, dirty, &mut out);
+        self.resolve_intersections(&line, dirty, out);
         self.stats.demand_fills += 1;
         if let Some((victim, meta)) = self.array.insert(set, line, LineMeta { dirty }) {
             self.note_line_removed(&victim);
@@ -291,20 +358,19 @@ impl CacheLevel for Cache1P2L {
             }
         }
         self.note_line_added(&line);
-        out
     }
 
-    fn absorb_writeback(&mut self, wb: &Writeback) -> Option<Vec<Writeback>> {
+    fn absorb_writeback(&mut self, wb: &Writeback, cascades: &mut Vec<Writeback>) -> bool {
         if !self.present(&wb.line) {
-            return None;
+            return false;
         }
         // The incoming dirty words modify this copy: other copies of those
         // words must go (write-to-duplicate), and any dirty ones must be
         // propagated further down by the caller.
-        let mut wbs = Vec::new();
-        self.write_resident(wb.line, wb.dirty, &mut wbs);
-        debug_assert!(wbs.iter().all(|w| w.line.overlaps(&wb.line)));
-        Some(wbs)
+        let before = cascades.len();
+        self.write_resident(wb.line, wb.dirty, cascades);
+        debug_assert!(cascades[before..].iter().all(|w| w.line.overlaps(&wb.line)));
+        true
     }
 
     fn contains_line(&self, line: &LineKey) -> bool {
@@ -327,21 +393,19 @@ impl CacheLevel for Cache1P2L {
         &self.config
     }
 
-    fn flush(&mut self) -> Vec<Writeback> {
-        let mut wbs = Vec::new();
-        for set in 0..self.array.num_sets() {
-            let resident: Vec<LineKey> = self.array.iter_set(set).map(|(k, _)| *k).collect();
-            for key in resident {
-                if let Some(meta) = self.array.remove(set, key) {
-                    self.note_line_removed(&key);
-                    if meta.dirty != 0 {
-                        self.stats.writebacks_out += 1;
-                        wbs.push(Writeback { line: key, dirty: meta.dirty });
-                    }
-                }
+    fn flush(&mut self, out: &mut Vec<Writeback>) {
+        let Cache1P2L { array, row_lines, col_lines, stats, filter, .. } = self;
+        array.drain_all(|_set, key, meta| {
+            match key.orient {
+                mda_mem::Orientation::Row => *row_lines -= 1,
+                mda_mem::Orientation::Col => *col_lines -= 1,
             }
-        }
-        wbs
+            if meta.dirty != 0 {
+                stats.writebacks_out += 1;
+                out.push(Writeback { line: key, dirty: meta.dirty });
+            }
+        });
+        filter.clear();
     }
 
     fn for_each_line(&self, f: &mut dyn FnMut(LineKey, u8)) {
@@ -354,6 +418,7 @@ impl CacheLevel for Cache1P2L {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::level::CacheLevelExt;
     use mda_mem::{Orientation, WordAddr};
 
     fn cache(mapping: SetMapping) -> Cache1P2L {
@@ -369,7 +434,7 @@ mod tests {
         let p = c.probe(&Access::vector_read(line, 0));
         assert!(!p.hit);
         assert_eq!(p.fills, vec![line]);
-        c.fill(line, 0);
+        c.fill_collect(line, 0);
         assert!(c.probe(&Access::vector_read(line, 0)).hit);
         assert_eq!(c.occupancy(), (0, 1, 64));
     }
@@ -378,7 +443,7 @@ mod tests {
     fn scalar_hit_ignores_alignment() {
         let mut c = cache(SetMapping::DifferentSet);
         let row = LineKey::new(0, Orientation::Row, 3);
-        c.fill(row, 0);
+        c.fill_collect(row, 0);
         // A column-preferring scalar read of a word in that row line hits.
         let acc = Access::scalar_read(row.word_at(6), Orientation::Col, 0);
         let p = c.probe(&acc);
@@ -391,7 +456,7 @@ mod tests {
     fn same_set_mapping_has_no_extra_tag_cost() {
         let mut c = cache(SetMapping::SameSet);
         let row = LineKey::new(0, Orientation::Row, 3);
-        c.fill(row, 0);
+        c.fill_collect(row, 0);
         let acc = Access::scalar_read(row.word_at(6), Orientation::Col, 0);
         let p = c.probe(&acc);
         assert!(p.hit);
@@ -403,7 +468,7 @@ mod tests {
         let mut c = cache(SetMapping::DifferentSet);
         // Fill all 8 row lines of tile 0 — every word present.
         for r in 0..8 {
-            c.fill(LineKey::new(0, Orientation::Row, r), 0);
+            c.fill_collect(LineKey::new(0, Orientation::Row, r), 0);
         }
         // A column vector access still misses (mis-aligned).
         let p = c.probe(&Access::vector_read(LineKey::new(0, Orientation::Col, 2), 0));
@@ -415,8 +480,8 @@ mod tests {
         let mut c = cache(SetMapping::DifferentSet);
         let row = LineKey::new(0, Orientation::Row, 2);
         let col = LineKey::new(0, Orientation::Col, 6);
-        c.fill(row, 0);
-        let wbs = c.fill(col, 0);
+        c.fill_collect(row, 0);
+        let wbs = c.fill_collect(col, 0);
         assert!(wbs.is_empty(), "clean duplication needs no writeback");
         assert!(c.contains_line(&row) && c.contains_line(&col));
         assert_eq!(c.stats().duplications, 1);
@@ -427,8 +492,8 @@ mod tests {
         let mut c = cache(SetMapping::DifferentSet);
         let row = LineKey::new(0, Orientation::Row, 2);
         let col = LineKey::new(0, Orientation::Col, 6);
-        c.fill(row, 0);
-        c.fill(col, 0);
+        c.fill_collect(row, 0);
+        c.fill_collect(col, 0);
         // Write the shared word through the row copy.
         let shared = WordAddr::from_tile_coords(0, 2, 6);
         let p = c.probe(&Access::scalar_write(shared, Orientation::Row, 0));
@@ -444,12 +509,12 @@ mod tests {
         let mut c = cache(SetMapping::DifferentSet);
         let row = LineKey::new(0, Orientation::Row, 2);
         let col = LineKey::new(0, Orientation::Col, 6);
-        c.fill(col, 0);
+        c.fill_collect(col, 0);
         // Dirty the column copy.
         let shared = WordAddr::from_tile_coords(0, 2, 6);
         assert!(c.probe(&Access::scalar_write(shared, Orientation::Col, 0)).hit);
         // Bring in the row line (read duplicate): dirty word propagates back.
-        let wbs = c.fill(row, 0);
+        let wbs = c.fill_collect(row, 0);
         assert_eq!(wbs.len(), 1);
         assert_eq!(wbs[0].line, col);
         assert!(c.contains_line(&col), "read-to-duplicate cleans, not evicts");
@@ -463,11 +528,11 @@ mod tests {
     fn fill_with_modified_words_evicts_dirty_intersections() {
         let mut c = cache(SetMapping::DifferentSet);
         let col = LineKey::new(0, Orientation::Col, 6);
-        c.fill(col, 0);
+        c.fill_collect(col, 0);
         let shared = WordAddr::from_tile_coords(0, 2, 6);
         c.probe(&Access::scalar_write(shared, Orientation::Col, 0));
         // Write-allocate fill of the intersecting row line, word 6 dirty.
-        let wbs = c.fill(LineKey::new(0, Orientation::Row, 2), 1 << 6);
+        let wbs = c.fill_collect(LineKey::new(0, Orientation::Row, 2), 1 << 6);
         assert_eq!(wbs.len(), 1, "dirty duplicate written back");
         assert_eq!(wbs[0].line, col);
         assert!(!c.contains_line(&col), "write-to-duplicate evicts");
@@ -477,9 +542,9 @@ mod tests {
     fn vector_write_hit_evicts_all_intersecting_lines() {
         let mut c = cache(SetMapping::SameSet);
         let row = LineKey::new(0, Orientation::Row, 2);
-        c.fill(row, 0);
+        c.fill_collect(row, 0);
         for cidx in [1u8, 4, 7] {
-            c.fill(LineKey::new(0, Orientation::Col, cidx), 0);
+            c.fill_collect(LineKey::new(0, Orientation::Col, cidx), 0);
         }
         let p = c.probe(&Access::vector_write(row, 0));
         assert!(p.hit);
@@ -502,9 +567,9 @@ mod tests {
     fn eviction_writes_back_only_dirty_words() {
         let mut c = cache(SetMapping::DifferentSet);
         let line = LineKey::new(0, Orientation::Row, 0);
-        c.fill(line, 0);
+        c.fill_collect(line, 0);
         c.probe(&Access::scalar_write(line.word_at(1), Orientation::Row, 0));
-        let wbs = c.flush();
+        let wbs = c.flush_collect();
         assert_eq!(wbs.len(), 1);
         assert_eq!(wbs[0].dirty, 0b10);
         assert_eq!(wbs[0].words(), 1, "per-word dirty bits avoid false sharing");
@@ -514,13 +579,13 @@ mod tests {
     fn misoriented_scalar_write_modifies_other_copy() {
         let mut c = cache(SetMapping::DifferentSet);
         let col = LineKey::new(0, Orientation::Col, 6);
-        c.fill(col, 0);
+        c.fill_collect(col, 0);
         let shared = WordAddr::from_tile_coords(0, 2, 6);
         // Row-preferring write, but only the column copy exists → hit there.
         let p = c.probe(&Access::scalar_write(shared, Orientation::Row, 0));
         assert!(p.hit);
         assert_eq!(c.stats().misoriented_hits, 1);
-        let wbs = c.flush();
+        let wbs = c.flush_collect();
         assert_eq!(wbs.len(), 1);
         assert_eq!(wbs[0].line, col);
     }
@@ -528,11 +593,11 @@ mod tests {
     #[test]
     fn occupancy_tracks_both_orientations() {
         let mut c = cache(SetMapping::DifferentSet);
-        c.fill(LineKey::new(0, Orientation::Row, 0), 0);
-        c.fill(LineKey::new(1, Orientation::Col, 0), 0);
-        c.fill(LineKey::new(2, Orientation::Col, 1), 0);
+        c.fill_collect(LineKey::new(0, Orientation::Row, 0), 0);
+        c.fill_collect(LineKey::new(1, Orientation::Col, 0), 0);
+        c.fill_collect(LineKey::new(2, Orientation::Col, 1), 0);
         assert_eq!(c.occupancy(), (1, 2, 64));
-        c.flush();
+        c.flush_collect();
         assert_eq!(c.occupancy(), (0, 0, 64));
     }
 }

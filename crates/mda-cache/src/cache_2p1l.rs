@@ -48,7 +48,7 @@ impl Cache2P1L {
     }
 
     fn set_of(&self, tile: TileId) -> usize {
-        (tile % self.array.num_sets() as u64) as usize
+        self.array.set_index(tile)
     }
 
     /// The row line an access maps to (column vectors are impossible on a
@@ -64,16 +64,23 @@ impl Cache2P1L {
         }
     }
 
-    fn writebacks_of(tile: TileId, meta: &TileMeta) -> Vec<Writeback> {
-        (0..TILE_LINES as u8)
-            .filter(|idx| meta.row_dirty & (1 << idx) != 0)
-            .map(|idx| Writeback { line: LineKey::new(tile, Orientation::Row, idx), dirty: 0xFF })
-            .collect()
+    /// Appends the dirty rows of an evicted block to `out`, returning how
+    /// many writebacks were produced (for the traffic counter).
+    fn push_writebacks(tile: TileId, meta: &TileMeta, out: &mut Vec<Writeback>) -> u64 {
+        let mut n = 0;
+        for idx in 0..TILE_LINES as u8 {
+            if meta.row_dirty & (1 << idx) != 0 {
+                out.push(Writeback { line: LineKey::new(tile, Orientation::Row, idx), dirty: 0xFF });
+                n += 1;
+            }
+        }
+        n
     }
 }
 
 impl CacheLevel for Cache2P1L {
-    fn probe(&mut self, acc: &Access) -> Probe {
+    fn probe_into(&mut self, acc: &Access, out: &mut Probe) {
+        out.reset();
         let line = Self::target_line(acc);
         let set = self.set_of(line.tile);
         let hit = match self.array.get_mut(set, line.tile) {
@@ -86,14 +93,13 @@ impl CacheLevel for Cache2P1L {
             _ => false,
         };
         self.stats.note_access(acc, hit);
-        if hit {
-            Probe::hit()
-        } else {
-            Probe::miss(line)
+        if !hit {
+            out.hit = false;
+            out.fills.push(line);
         }
     }
 
-    fn fill(&mut self, line: LineKey, dirty: u8) -> Vec<Writeback> {
+    fn fill(&mut self, line: LineKey, dirty: u8, out: &mut Vec<Writeback>) {
         debug_assert_eq!(line.orient, Orientation::Row, "2P1L stores row lines only");
         let set = self.set_of(line.tile);
         if let Some(meta) = self.array.get_mut(set, line.tile) {
@@ -101,32 +107,31 @@ impl CacheLevel for Cache2P1L {
             if dirty != 0 {
                 meta.row_dirty |= 1 << line.idx;
             }
-            return Vec::new();
+            return;
         }
         self.stats.demand_fills += 1;
         let meta = TileMeta {
             row_valid: 1 << line.idx,
             row_dirty: if dirty != 0 { 1 << line.idx } else { 0 },
         };
-        match self.array.insert(set, line.tile, meta) {
-            Some((victim, vm)) => {
-                let wbs = Self::writebacks_of(victim, &vm);
-                self.stats.writebacks_out += wbs.len() as u64;
-                wbs
-            }
-            None => Vec::new(),
+        if let Some((victim, vm)) = self.array.insert(set, line.tile, meta) {
+            self.stats.writebacks_out += Self::push_writebacks(victim, &vm, out);
         }
     }
 
-    fn absorb_writeback(&mut self, wb: &Writeback) -> Option<Vec<Writeback>> {
+    fn absorb_writeback(&mut self, wb: &Writeback, _cascades: &mut Vec<Writeback>) -> bool {
         if wb.line.orient != Orientation::Row {
-            return None;
+            return false;
         }
         let set = self.set_of(wb.line.tile);
-        let meta = self.array.get_mut(set, wb.line.tile)?;
-        meta.row_valid |= 1 << wb.line.idx;
-        meta.row_dirty |= 1 << wb.line.idx;
-        Some(Vec::new())
+        match self.array.get_mut(set, wb.line.tile) {
+            Some(meta) => {
+                meta.row_valid |= 1 << wb.line.idx;
+                meta.row_dirty |= 1 << wb.line.idx;
+                true
+            }
+            None => false,
+        }
     }
 
     fn contains_line(&self, line: &LineKey) -> bool {
@@ -154,19 +159,11 @@ impl CacheLevel for Cache2P1L {
         &self.config
     }
 
-    fn flush(&mut self) -> Vec<Writeback> {
-        let mut out = Vec::new();
-        for set in 0..self.array.num_sets() {
-            let resident: Vec<TileId> = self.array.iter_set(set).map(|(k, _)| *k).collect();
-            for tile in resident {
-                if let Some(meta) = self.array.remove(set, tile) {
-                    let wbs = Self::writebacks_of(tile, &meta);
-                    self.stats.writebacks_out += wbs.len() as u64;
-                    out.extend(wbs);
-                }
-            }
-        }
-        out
+    fn flush(&mut self, out: &mut Vec<Writeback>) {
+        let Cache2P1L { array, stats, .. } = self;
+        array.drain_all(|_set, tile, meta| {
+            stats.writebacks_out += Self::push_writebacks(tile, &meta, out);
+        });
     }
 
     fn for_each_line(&self, f: &mut dyn FnMut(LineKey, u8)) {
@@ -184,6 +181,7 @@ impl CacheLevel for Cache2P1L {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::level::CacheLevelExt;
     use mda_mem::WordAddr;
 
     fn cache() -> Cache2P1L {
@@ -199,7 +197,7 @@ mod tests {
         let p = c.probe(&Access::vector_read(line, 0));
         assert!(!p.hit);
         assert_eq!(p.fills, vec![line], "sparse row fill only");
-        c.fill(line, 0);
+        c.fill_collect(line, 0);
         assert!(c.probe(&Access::vector_read(line, 0)).hit);
     }
 
@@ -222,12 +220,12 @@ mod tests {
     fn eviction_is_block_granular() {
         let mut c = cache();
         // Two rows of tile 0 resident, one dirty.
-        c.fill(LineKey::new(0, Orientation::Row, 0), 0xFF);
-        c.fill(LineKey::new(0, Orientation::Row, 5), 0);
+        c.fill_collect(LineKey::new(0, Orientation::Row, 0), 0xFF);
+        c.fill_collect(LineKey::new(0, Orientation::Row, 5), 0);
         // Displace tile 0 (set 0 holds tiles ≡ 0 mod 4, 8 ways).
         let mut wbs = Vec::new();
         for k in 1..=8u64 {
-            wbs.extend(c.fill(LineKey::new(4 * k, Orientation::Row, 0), 0));
+            wbs.extend(c.fill_collect(LineKey::new(4 * k, Orientation::Row, 0), 0));
         }
         assert_eq!(wbs.len(), 1, "only the dirty row written back");
         assert!(!c.contains_line(&LineKey::new(0, Orientation::Row, 5)));
@@ -236,8 +234,8 @@ mod tests {
     #[test]
     fn occupancy_counts_rows_only() {
         let mut c = cache();
-        c.fill(LineKey::new(0, Orientation::Row, 0), 0);
-        c.fill(LineKey::new(0, Orientation::Row, 1), 0);
+        c.fill_collect(LineKey::new(0, Orientation::Row, 0), 0);
+        c.fill_collect(LineKey::new(0, Orientation::Row, 1), 0);
         assert_eq!(c.occupancy(), (2, 0, 256));
     }
 }

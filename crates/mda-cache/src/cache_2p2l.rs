@@ -17,7 +17,8 @@
 //!   demand orientation, paying the paper's "large unit transfer cost".
 
 use crate::config::CacheConfig;
-use crate::level::{Access, AccessWidth, CacheLevel, Probe, Writeback};
+use crate::inline_vec::InlineVec;
+use crate::level::{Access, AccessWidth, CacheLevel, Probe, Writeback, PROBE_MAX};
 use crate::set_array::SetArray;
 use crate::stats::CacheStats;
 use mda_mem::{LineKey, Orientation, TileId, TILE_LINES};
@@ -101,17 +102,18 @@ impl Cache2P2L {
     }
 
     fn set_of(&self, tile: TileId) -> usize {
-        (tile % self.array.num_sets() as u64) as usize
+        self.array.set_index(tile)
     }
 
-    /// Fill lines demanded on a miss of `line`: just the demand line when
-    /// sparse; the demand line followed by the rest of its orientation when
-    /// dense.
-    fn fill_lines(&self, line: LineKey, meta: Option<&TileMeta>) -> Vec<LineKey> {
+    /// Appends the fill lines demanded on a miss of `line`: just the demand
+    /// line when sparse; the demand line followed by the rest of its
+    /// orientation when dense (at most eight lines, so the probe's inline
+    /// buffer always suffices).
+    fn fill_lines(&self, line: LineKey, meta: Option<&TileMeta>, fills: &mut InlineVec<LineKey, PROBE_MAX>) {
+        fills.push(line);
         if self.sparse {
-            return vec![line];
+            return;
         }
-        let mut fills = vec![line];
         for idx in 0..TILE_LINES as u8 {
             if idx == line.idx {
                 continue;
@@ -121,20 +123,23 @@ impl Cache2P2L {
                 fills.push(LineKey::new(line.tile, line.orient, idx));
             }
         }
-        fills
     }
 
-    fn writebacks_of(tile: TileId, meta: &TileMeta) -> Vec<Writeback> {
-        let mut out = Vec::new();
+    /// Appends the dirty lines of an evicted block to `out`, returning how
+    /// many writebacks were produced (for the traffic counter).
+    fn push_writebacks(tile: TileId, meta: &TileMeta, out: &mut Vec<Writeback>) -> u64 {
+        let mut n = 0;
         for idx in 0..TILE_LINES as u8 {
             if meta.row_dirty & (1 << idx) != 0 {
                 out.push(Writeback { line: LineKey::new(tile, Orientation::Row, idx), dirty: 0xFF });
+                n += 1;
             }
             if meta.col_dirty & (1 << idx) != 0 {
                 out.push(Writeback { line: LineKey::new(tile, Orientation::Col, idx), dirty: 0xFF });
+                n += 1;
             }
         }
-        out
+        n
     }
 
     /// Marks the written words dirty through whichever resident lines cover
@@ -164,7 +169,8 @@ impl Cache2P2L {
 }
 
 impl CacheLevel for Cache2P2L {
-    fn probe(&mut self, acc: &Access) -> Probe {
+    fn probe_into(&mut self, acc: &Access, out: &mut Probe) {
+        out.reset();
         let set = self.set_of(acc.word.tile());
         let preferred = acc.preferred_line();
 
@@ -209,26 +215,20 @@ impl CacheLevel for Cache2P2L {
         if covered {
             self.stats.misoriented_hits += 1;
         }
-        if hit {
-            Probe::hit()
-        } else {
-            Probe {
-                hit: false,
-                extra_tag_accesses: 0,
-                fills: self.fill_lines(preferred, resident.as_ref()),
-                writebacks: Vec::new(),
-            }
+        if !hit {
+            out.hit = false;
+            self.fill_lines(preferred, resident.as_ref(), &mut out.fills);
         }
     }
 
-    fn fill(&mut self, line: LineKey, dirty: u8) -> Vec<Writeback> {
+    fn fill(&mut self, line: LineKey, dirty: u8, out: &mut Vec<Writeback>) {
         let set = self.set_of(line.tile);
         if let Some(meta) = self.array.get_mut(set, line.tile) {
             meta.set_valid(line.orient, line.idx);
             if dirty != 0 {
                 meta.set_dirty(line.orient, line.idx);
             }
-            return Vec::new();
+            return;
         }
         self.stats.demand_fills += 1;
         let mut meta = TileMeta::default();
@@ -236,22 +236,21 @@ impl CacheLevel for Cache2P2L {
         if dirty != 0 {
             meta.set_dirty(line.orient, line.idx);
         }
-        match self.array.insert(set, line.tile, meta) {
-            Some((victim, vm)) => {
-                let wbs = Self::writebacks_of(victim, &vm);
-                self.stats.writebacks_out += wbs.len() as u64;
-                wbs
-            }
-            None => Vec::new(),
+        if let Some((victim, vm)) = self.array.insert(set, line.tile, meta) {
+            self.stats.writebacks_out += Self::push_writebacks(victim, &vm, out);
         }
     }
 
-    fn absorb_writeback(&mut self, wb: &Writeback) -> Option<Vec<Writeback>> {
+    fn absorb_writeback(&mut self, wb: &Writeback, _cascades: &mut Vec<Writeback>) -> bool {
         let set = self.set_of(wb.line.tile);
-        let meta = self.array.get_mut(set, wb.line.tile)?;
-        meta.set_valid(wb.line.orient, wb.line.idx);
-        meta.set_dirty(wb.line.orient, wb.line.idx);
-        Some(Vec::new())
+        match self.array.get_mut(set, wb.line.tile) {
+            Some(meta) => {
+                meta.set_valid(wb.line.orient, wb.line.idx);
+                meta.set_dirty(wb.line.orient, wb.line.idx);
+                true
+            }
+            None => false,
+        }
     }
 
     fn contains_line(&self, line: &LineKey) -> bool {
@@ -282,19 +281,11 @@ impl CacheLevel for Cache2P2L {
         &self.config
     }
 
-    fn flush(&mut self) -> Vec<Writeback> {
-        let mut out = Vec::new();
-        for set in 0..self.array.num_sets() {
-            let resident: Vec<TileId> = self.array.iter_set(set).map(|(k, _)| *k).collect();
-            for tile in resident {
-                if let Some(meta) = self.array.remove(set, tile) {
-                    let wbs = Self::writebacks_of(tile, &meta);
-                    self.stats.writebacks_out += wbs.len() as u64;
-                    out.extend(wbs);
-                }
-            }
-        }
-        out
+    fn flush(&mut self, out: &mut Vec<Writeback>) {
+        let Cache2P2L { array, stats, .. } = self;
+        array.drain_all(|_set, tile, meta| {
+            stats.writebacks_out += Self::push_writebacks(tile, &meta, out);
+        });
     }
 
     fn for_each_line(&self, f: &mut dyn FnMut(LineKey, u8)) {
@@ -316,6 +307,7 @@ impl CacheLevel for Cache2P2L {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::level::CacheLevelExt;
     use mda_mem::WordAddr;
 
     fn cache() -> Cache2P2L {
@@ -332,7 +324,7 @@ mod tests {
         let p = c.probe(&Access::vector_read(line, 0));
         assert!(!p.hit);
         assert_eq!(p.fills, vec![line]);
-        c.fill(line, 0);
+        c.fill_collect(line, 0);
         assert!(c.probe(&Access::vector_read(line, 0)).hit);
         assert_eq!(c.occupancy(), (0, 1, 256));
     }
@@ -351,8 +343,8 @@ mod tests {
     #[test]
     fn no_duplication_inside_a_block() {
         let mut c = cache();
-        c.fill(LineKey::new(0, Orientation::Row, 2), 0);
-        c.fill(LineKey::new(0, Orientation::Col, 6), 0);
+        c.fill_collect(LineKey::new(0, Orientation::Row, 2), 0);
+        c.fill_collect(LineKey::new(0, Orientation::Col, 6), 0);
         // The shared word is covered by both; writing it through the row
         // does not need any duplicate eviction (same physical storage).
         let shared = WordAddr::from_tile_coords(0, 2, 6);
@@ -365,7 +357,7 @@ mod tests {
     #[test]
     fn scalar_hit_via_other_orientation_is_a_partial_hit() {
         let mut c = cache();
-        c.fill(LineKey::new(0, Orientation::Row, 2), 0);
+        c.fill_collect(LineKey::new(0, Orientation::Row, 2), 0);
         let word = WordAddr::from_tile_coords(0, 2, 5);
         let p = c.probe(&Access::scalar_read(word, Orientation::Col, 0));
         assert!(p.hit);
@@ -376,11 +368,11 @@ mod tests {
     fn vector_partial_hit_requires_full_coverage() {
         let mut c = cache();
         for r in 0..7 {
-            c.fill(LineKey::new(0, Orientation::Row, r), 0);
+            c.fill_collect(LineKey::new(0, Orientation::Row, r), 0);
         }
         let col = LineKey::new(0, Orientation::Col, 3);
         assert!(!c.probe(&Access::vector_read(col, 0)).hit, "7/8 rows: not covered");
-        c.fill(LineKey::new(0, Orientation::Row, 7), 0);
+        c.fill_collect(LineKey::new(0, Orientation::Row, 7), 0);
         let p = c.probe(&Access::vector_read(col, 0));
         assert!(p.hit, "8/8 rows cover any column vector");
         assert_eq!(c.stats().misoriented_hits, 1);
@@ -392,12 +384,12 @@ mod tests {
         cfg.assoc = 8;
         let mut c = Cache2P2L::new(cfg);
         // Tile 0: one dirty row, one clean col.
-        c.fill(LineKey::new(0, Orientation::Row, 1), 0xFF);
-        c.fill(LineKey::new(0, Orientation::Col, 4), 0);
+        c.fill_collect(LineKey::new(0, Orientation::Row, 1), 0xFF);
+        c.fill_collect(LineKey::new(0, Orientation::Col, 4), 0);
         // Evict tile 0 by filling 8 more tiles into set 0 (tiles ≡ 0 mod 4).
         let mut wbs = Vec::new();
         for k in 1..=8u64 {
-            wbs.extend(c.fill(LineKey::new(4 * k, Orientation::Row, 0), 0));
+            wbs.extend(c.fill_collect(LineKey::new(4 * k, Orientation::Row, 0), 0));
         }
         assert_eq!(wbs.len(), 1, "only the dirty row line is written back");
         assert_eq!(wbs[0].line, LineKey::new(0, Orientation::Row, 1));
@@ -408,23 +400,23 @@ mod tests {
     fn absorb_writeback_sparsely_updates_resident_block() {
         let mut c = cache();
         let line = LineKey::new(5, Orientation::Col, 1);
-        c.fill(line, 0);
+        c.fill_collect(line, 0);
         let other = LineKey::new(5, Orientation::Row, 3);
-        assert!(c.absorb_writeback(&Writeback { line: other, dirty: 0xFF }).is_some());
+        assert!(c.absorb_collect(&Writeback { line: other, dirty: 0xFF }).is_some());
         assert!(c.contains_line(&other));
         // An absent block cannot absorb — the caller allocates sparsely.
         let faraway = LineKey::new(77, Orientation::Row, 0);
-        assert!(c.absorb_writeback(&Writeback { line: faraway, dirty: 0xFF }).is_none());
+        assert!(c.absorb_collect(&Writeback { line: faraway, dirty: 0xFF }).is_none());
     }
 
     #[test]
     fn write_via_covering_line_marks_it_dirty() {
         let mut c = cache();
-        c.fill(LineKey::new(0, Orientation::Row, 2), 0);
+        c.fill_collect(LineKey::new(0, Orientation::Row, 2), 0);
         // Column-preferring write to a word only covered by row 2.
         let w = WordAddr::from_tile_coords(0, 2, 5);
         assert!(c.probe(&Access::scalar_write(w, Orientation::Col, 0)).hit);
-        let wbs = c.flush();
+        let wbs = c.flush_collect();
         assert_eq!(wbs.len(), 1);
         assert_eq!(wbs[0].line, LineKey::new(0, Orientation::Row, 2));
     }
@@ -432,9 +424,9 @@ mod tests {
     #[test]
     fn flush_empties_cache() {
         let mut c = cache();
-        c.fill(LineKey::new(1, Orientation::Row, 0), 0xFF);
-        c.fill(LineKey::new(2, Orientation::Col, 3), 0);
-        let wbs = c.flush();
+        c.fill_collect(LineKey::new(1, Orientation::Row, 0), 0xFF);
+        c.fill_collect(LineKey::new(2, Orientation::Col, 3), 0);
+        let wbs = c.flush_collect();
         assert_eq!(wbs.len(), 1);
         assert_eq!(c.occupancy().0 + c.occupancy().1, 0);
     }

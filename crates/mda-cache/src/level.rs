@@ -2,6 +2,7 @@
 //! all cache organizations.
 
 use crate::config::CacheConfig;
+use crate::inline_vec::InlineVec;
 use crate::stats::CacheStats;
 use mda_mem::{LineKey, Orientation, WordAddr};
 
@@ -90,7 +91,7 @@ impl Access {
 }
 
 /// A dirty line (or partial line) that must be sent to the next lower level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Writeback {
     /// The line being written back.
     pub line: LineKey,
@@ -105,8 +106,16 @@ impl Writeback {
     }
 }
 
+/// Upper bound on lines or writebacks a single probe can produce: a dense
+/// 2P2L block fill requests all eight lines of the tile orientation, and a
+/// vector write can dirty-evict at most one intersecting copy per word.
+pub const PROBE_MAX: usize = mda_mem::LINE_WORDS;
+
 /// Result of probing a cache level with an [`Access`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Both side-effect lists are inline ([`InlineVec`]) — a steady-state probe
+/// performs zero heap allocations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Probe {
     /// Whether the access can be served by this level.
     pub hit: bool,
@@ -116,21 +125,62 @@ pub struct Probe {
     /// Lines this level wants from below. Empty on a hit; on a miss the
     /// first entry is the demand (critical) line; dense 2P2L fills append
     /// the other seven lines of the block.
-    pub fills: Vec<LineKey>,
+    pub fills: InlineVec<LineKey, PROBE_MAX>,
     /// Writebacks forced by the duplicate-word policy (dirty intersecting
     /// copies that must be propagated down before this access proceeds).
-    pub writebacks: Vec<Writeback>,
+    pub writebacks: InlineVec<Writeback, PROBE_MAX>,
 }
 
 impl Probe {
     /// A plain hit with no side effects.
     pub fn hit() -> Probe {
-        Probe { hit: true, extra_tag_accesses: 0, fills: Vec::new(), writebacks: Vec::new() }
+        Probe {
+            hit: true,
+            extra_tag_accesses: 0,
+            fills: InlineVec::new(),
+            writebacks: InlineVec::new(),
+        }
     }
 
     /// A plain miss demanding `line`.
     pub fn miss(line: LineKey) -> Probe {
-        Probe { hit: false, extra_tag_accesses: 0, fills: vec![line], writebacks: Vec::new() }
+        Probe {
+            hit: false,
+            extra_tag_accesses: 0,
+            fills: InlineVec::of(line),
+            writebacks: InlineVec::new(),
+        }
+    }
+
+    /// Reinitializes to a plain hit in O(1): lengths are reset without
+    /// touching the inline buffers, so a recycled `Probe` costs no
+    /// re-zeroing on the per-access hot path.
+    pub fn reset(&mut self) {
+        self.hit = true;
+        self.extra_tag_accesses = 0;
+        self.fills.clear();
+        self.writebacks.clear();
+    }
+}
+
+/// Destination for writebacks produced inside a cache organization's
+/// eviction/intersection helpers. Implemented for both heap `Vec`s (fill,
+/// flush — unbounded output) and the probe's [`InlineVec`] (bounded), so
+/// the helpers monomorphize instead of allocating intermediate vectors.
+pub trait WritebackSink {
+    /// Appends one writeback.
+    fn push_wb(&mut self, wb: Writeback);
+}
+
+impl WritebackSink for Vec<Writeback> {
+    fn push_wb(&mut self, wb: Writeback) {
+        self.push(wb);
+    }
+}
+
+impl<const N: usize> WritebackSink for InlineVec<Writeback, N> {
+    fn push_wb(&mut self, wb: Writeback) {
+        self.push(wb);
     }
 }
 
@@ -141,20 +191,33 @@ impl Probe {
 /// installs them with [`CacheLevel::fill`], propagating any returned
 /// eviction writebacks downward.
 pub trait CacheLevel {
-    /// Looks up `acc`, updating replacement and dirty state on a hit.
-    fn probe(&mut self, acc: &Access) -> Probe;
+    /// Looks up `acc`, updating replacement and dirty state on a hit,
+    /// writing the result into `out` (which is `reset` first). Taking the
+    /// result as an out-parameter lets the hierarchy recycle one `Probe`
+    /// per recursion depth instead of zero-initializing ~300 bytes of
+    /// inline buffers per access.
+    fn probe_into(&mut self, acc: &Access, out: &mut Probe);
+
+    /// Convenience wrapper returning the probe result by value.
+    fn probe(&mut self, acc: &Access) -> Probe {
+        let mut out = Probe::hit();
+        self.probe_into(acc, &mut out);
+        out
+    }
 
     /// Installs `line` (with `dirty` words pre-marked, e.g. from an upper
-    /// level's writeback or a write-allocate). Returns evicted dirty lines.
-    fn fill(&mut self, line: LineKey, dirty: u8) -> Vec<Writeback>;
+    /// level's writeback or a write-allocate). Evicted dirty lines are
+    /// appended to `out`, a caller-owned scratch buffer the hierarchy
+    /// recycles across accesses; existing contents are preserved.
+    fn fill(&mut self, line: LineKey, dirty: u8, out: &mut Vec<Writeback>);
 
-    /// Accepts a writeback from the level above. Returns
-    /// `Some(cascaded_writebacks)` if it was absorbed by updating a
-    /// resident line (the cascades are dirty lines the duplicate policy had
-    /// to push out, which the caller must forward downward), or `None` if
-    /// the line is absent and the caller should `fill` it instead
-    /// (write-allocate of writebacks).
-    fn absorb_writeback(&mut self, wb: &Writeback) -> Option<Vec<Writeback>>;
+    /// Accepts a writeback from the level above. Returns `true` if it was
+    /// absorbed by updating a resident line — any dirty lines the duplicate
+    /// policy had to push out are appended to `cascades` for the caller to
+    /// forward downward. Returns `false` (appending nothing) if the line is
+    /// absent and the caller should `fill` it instead (write-allocate of
+    /// writebacks).
+    fn absorb_writeback(&mut self, wb: &Writeback, cascades: &mut Vec<Writeback>) -> bool;
 
     /// Whether the exact line is resident (used by inclusive-check tests and
     /// partial-hit logic).
@@ -174,8 +237,8 @@ pub trait CacheLevel {
     fn config(&self) -> &CacheConfig;
 
     /// Invalidates all content (between benchmark phases); statistics are
-    /// preserved.
-    fn flush(&mut self) -> Vec<Writeback>;
+    /// preserved. Dirty lines are appended to `out` in set order.
+    fn flush(&mut self, out: &mut Vec<Writeback>);
 
     /// Visits every resident line as `(key, dirty_word_mask)` — the
     /// verification/debugging view the coherence property tests rely on.
@@ -186,23 +249,31 @@ pub trait CacheLevel {
 
 /// Extension helpers over any [`CacheLevel`].
 pub trait CacheLevelExt: CacheLevel {
+    /// Resident row + column line count (size hint for snapshot helpers).
+    fn resident_lines(&self) -> usize {
+        let (rows, cols, _) = self.occupancy();
+        rows + cols
+    }
+
     /// Collects every resident line and its dirty mask.
     fn lines(&self) -> Vec<(LineKey, u8)> {
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(self.resident_lines());
         self.for_each_line(&mut |k, d| out.push((k, d)));
         out
     }
 
     /// The words currently resident (through any covering line).
     fn resident_words(&self) -> std::collections::HashSet<WordAddr> {
-        let mut out = std::collections::HashSet::new();
+        let mut out = std::collections::HashSet::with_capacity(
+            self.resident_lines() * mda_mem::LINE_WORDS as usize,
+        );
         self.for_each_line(&mut |k, _| out.extend(k.words()));
         out
     }
 
     /// The words currently dirty.
     fn dirty_words(&self) -> Vec<WordAddr> {
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(self.resident_lines());
         self.for_each_line(&mut |k, d| {
             for off in 0..mda_mem::LINE_WORDS as u8 {
                 if d & (1 << off) != 0 {
@@ -210,6 +281,29 @@ pub trait CacheLevelExt: CacheLevel {
                 }
             }
         });
+        out
+    }
+
+    /// [`CacheLevel::fill`] collected into a fresh `Vec` (test/debug
+    /// convenience; the simulator recycles scratch buffers instead).
+    fn fill_collect(&mut self, line: LineKey, dirty: u8) -> Vec<Writeback> {
+        let mut out = Vec::new();
+        self.fill(line, dirty, &mut out);
+        out
+    }
+
+    /// [`CacheLevel::absorb_writeback`] in the old `Option<Vec>` shape
+    /// (test/debug convenience).
+    fn absorb_collect(&mut self, wb: &Writeback) -> Option<Vec<Writeback>> {
+        let mut cascades = Vec::new();
+        if self.absorb_writeback(wb, &mut cascades) { Some(cascades) } else { None }
+    }
+
+    /// [`CacheLevel::flush`] collected into a fresh `Vec` (test/debug
+    /// convenience).
+    fn flush_collect(&mut self) -> Vec<Writeback> {
+        let mut out = Vec::new();
+        self.flush(&mut out);
         out
     }
 }

@@ -35,7 +35,9 @@ pub mod cache_1p2l;
 pub mod cache_2p1l;
 pub mod cache_2p2l;
 pub mod config;
+pub mod inline_vec;
 pub mod level;
+pub mod level_kind;
 pub mod mshr;
 pub mod policy;
 pub mod prefetch;
@@ -47,7 +49,9 @@ pub use cache_1p2l::Cache1P2L;
 pub use cache_2p1l::Cache2P1L;
 pub use cache_2p2l::Cache2P2L;
 pub use config::{CacheConfig, SetMapping};
-pub use level::{Access, AccessWidth, CacheLevel, Probe, Writeback};
+pub use inline_vec::InlineVec;
+pub use level::{Access, AccessWidth, CacheLevel, CacheLevelExt, Probe, Writeback, WritebackSink};
+pub use level_kind::LevelKind;
 pub use mshr::Mshr;
 pub use prefetch::StridePrefetcher;
 pub use stats::CacheStats;

@@ -73,39 +73,47 @@ impl Mshr {
     /// stall (`ready_at`) and ordering (`issue_at`) constraints. The caller
     /// must later call [`Mshr::complete`] with the fill's completion cycle.
     pub fn on_miss(&mut self, line: LineKey, is_write: bool, now: Cycle) -> MshrDecision {
-        self.expire(now);
+        // One order-preserving pass fuses lazy expiry with the coalescing
+        // lookup (2-D miss coalescing — "many misses to the same column are
+        // combined into one column access in the MSHR", paper Sec. VII), the
+        // earliest-completion aggregate and the overlap-ordering scan.
+        // Entries removed by a full file complete at or before `ready_at`,
+        // so including them in `overlap_until` cannot raise `issue_at`.
+        let mut keep = 0;
+        let mut coalesced: Option<Cycle> = None;
+        let mut earliest = Cycle::MAX;
+        let mut overlap_until: Cycle = 0;
+        for r in 0..self.entries.len() {
+            let e = self.entries[r];
+            if e.completes <= now {
+                continue; // expired
+            }
+            if coalesced.is_none() && e.line == line {
+                coalesced = Some(e.completes);
+            }
+            earliest = earliest.min(e.completes);
+            if e.line.overlaps(&line) && (e.is_write || is_write) {
+                overlap_until = overlap_until.max(e.completes);
+            }
+            if keep != r {
+                self.entries[keep] = e;
+            }
+            keep += 1;
+        }
+        self.entries.truncate(keep);
 
-        // Secondary miss to the same line: coalesce (2-D miss coalescing —
-        // "many misses to the same column are combined into one column
-        // access in the MSHR", paper Sec. VII).
-        if let Some(e) = self.entries.iter().find(|e| e.line == line) {
-            return MshrDecision::Coalesced { completes: e.completes };
+        if let Some(completes) = coalesced {
+            return MshrDecision::Coalesced { completes };
         }
 
         // Full file: the request waits for the earliest completion.
         let mut ready_at = now;
         if self.entries.len() >= self.capacity {
-            let earliest = self
-                .entries
-                .iter()
-                .map(|e| e.completes)
-                .min()
-                .expect("full MSHR file is non-empty");
             ready_at = earliest;
             self.entries.retain(|e| e.completes > earliest);
         }
 
-        // Ordering against overlapping outstanding transactions when either
-        // side writes: issue only after they complete.
-        let issue_at = self
-            .entries
-            .iter()
-            .filter(|e| e.line.overlaps(&line) && (e.is_write || is_write))
-            .map(|e| e.completes)
-            .max()
-            .unwrap_or(0)
-            .max(ready_at);
-
+        let issue_at = overlap_until.max(ready_at);
         MshrDecision::Allocated { issue_at, ready_at }
     }
 
@@ -114,8 +122,24 @@ impl Mshr {
     /// flight (the state update is instantaneous in a latency-forwarding
     /// model, but the data is not).
     pub fn pending_completion(&mut self, line: &LineKey, now: Cycle) -> Option<Cycle> {
-        self.expire(now);
-        self.entries.iter().find(|e| e.line == *line).map(|e| e.completes)
+        // Expiry and lookup fused into one order-preserving pass.
+        let mut keep = 0;
+        let mut found = None;
+        for r in 0..self.entries.len() {
+            let e = self.entries[r];
+            if e.completes <= now {
+                continue;
+            }
+            if found.is_none() && e.line == *line {
+                found = Some(e.completes);
+            }
+            if keep != r {
+                self.entries[keep] = e;
+            }
+            keep += 1;
+        }
+        self.entries.truncate(keep);
+        found
     }
 
     /// Records the completion cycle of a previously allocated miss.

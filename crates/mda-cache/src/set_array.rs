@@ -3,33 +3,48 @@
 //! All three cache organizations share this container: `1P1L`/`1P2L` use it
 //! with [`mda_mem::LineKey`] keys and per-line metadata, `2P2L` with tile
 //! ids and per-tile presence/dirty bitmaps.
+//!
+//! The storage is **structure-of-arrays**: tag lookups scan a dense `keys`
+//! lane (no metadata or LRU stamps pulled into cache on the way), recency
+//! updates touch only the `stamps` lane, and metadata lives in its own
+//! `metas` lane. The per-way `Option<Entry>` boxes of the original AoS
+//! layout are gone; occupancy is tracked by `keys[i].is_some()` plus a live
+//! counter so `len()` is O(1).
 
 /// A set-associative array mapping keys of type `K` to metadata `M`.
 #[derive(Debug, Clone)]
 pub struct SetArray<K, M> {
-    ways: Vec<Option<Entry<K, M>>>,
+    /// Tag lane: `Some(key)` marks an occupied way.
+    keys: Vec<Option<K>>,
+    /// Metadata lane; slots for unoccupied ways hold `M::default()`.
+    metas: Vec<M>,
+    /// LRU-stamp lane; stale for unoccupied ways.
+    stamps: Vec<u64>,
     num_sets: usize,
     assoc: usize,
     clock: u64,
+    live: usize,
 }
 
-#[derive(Debug, Clone)]
-struct Entry<K, M> {
-    key: K,
-    meta: M,
-    last_use: u64,
-}
-
-impl<K: Copy + Eq, M> SetArray<K, M> {
+impl<K: Copy + Eq, M: Default> SetArray<K, M> {
     /// Creates an empty array of `num_sets` sets × `assoc` ways.
     ///
     /// # Panics
     /// Panics if either dimension is zero.
     pub fn new(num_sets: usize, assoc: usize) -> SetArray<K, M> {
         assert!(num_sets > 0 && assoc > 0, "sets and ways must be non-zero");
-        let mut ways = Vec::new();
-        ways.resize_with(num_sets * assoc, || None);
-        SetArray { ways, num_sets, assoc, clock: 0 }
+        let slots = num_sets * assoc;
+        let mut metas = Vec::new();
+        metas.resize_with(slots, M::default);
+        SetArray {
+            keys: vec![None; slots],
+            metas,
+            stamps: vec![0; slots],
+            num_sets,
+            assoc,
+            clock: 0,
+            live: 0,
+        }
     }
 
     /// Number of sets.
@@ -42,9 +57,28 @@ impl<K: Copy + Eq, M> SetArray<K, M> {
         self.assoc
     }
 
+    /// Maps a placement key to its set index (`key % num_sets`).
+    ///
+    /// Every preset configuration has a power-of-two set count, so the
+    /// modulo — a 20+-cycle `u64` division on the per-access hot path —
+    /// strength-reduces to a mask; the division remains as the fallback
+    /// for arbitrary geometries.
+    #[inline]
+    pub fn set_index(&self, key: u64) -> usize {
+        if self.num_sets.is_power_of_two() {
+            (key & (self.num_sets as u64 - 1)) as usize
+        } else {
+            (key % self.num_sets as u64) as usize
+        }
+    }
+
     fn set_range(&self, set: usize) -> std::ops::Range<usize> {
         debug_assert!(set < self.num_sets, "set index out of range");
         set * self.assoc..(set + 1) * self.assoc
+    }
+
+    fn find(&self, set: usize, key: K) -> Option<usize> {
+        self.set_range(set).find(|&i| self.keys[i] == Some(key))
     }
 
     /// Looks up `key` in `set`, updating recency on hit.
@@ -52,23 +86,15 @@ impl<K: Copy + Eq, M> SetArray<K, M> {
     /// The LRU clock only advances on a hit: a miss leaves recency state
     /// untouched, so long miss streaks cannot skew the victim ordering.
     pub fn get_mut(&mut self, set: usize, key: K) -> Option<&mut M> {
-        let range = self.set_range(set);
-        let clock = &mut self.clock;
-        self.ways[range]
-            .iter_mut()
-            .flatten()
-            .find(|e| e.key == key)
-            .map(move |e| {
-                *clock += 1;
-                e.last_use = *clock;
-                &mut e.meta
-            })
+        let i = self.find(set, key)?;
+        self.clock += 1;
+        self.stamps[i] = self.clock;
+        Some(&mut self.metas[i])
     }
 
     /// Looks up `key` in `set` without touching recency.
     pub fn peek(&self, set: usize, key: K) -> Option<&M> {
-        let range = self.set_range(set);
-        self.ways[range].iter().flatten().find(|e| e.key == key).map(|e| &e.meta)
+        self.find(set, key).map(|i| &self.metas[i])
     }
 
     /// Inserts `key` into `set`; on a full set the LRU entry is evicted and
@@ -79,21 +105,21 @@ impl<K: Copy + Eq, M> SetArray<K, M> {
         let range = self.set_range(set);
 
         // One pass over the set: replace in place if present, otherwise
-        // remember the first free way and the LRU victim (first entry with
-        // the minimal `last_use`, matching the previous multi-pass scan).
+        // remember the first free way and the LRU victim (first occupied
+        // way with the minimal stamp).
         let mut free = None;
         let mut victim_idx = range.start;
-        let mut victim_last_use = u64::MAX;
+        let mut victim_stamp = u64::MAX;
         for i in range {
-            match &mut self.ways[i] {
-                Some(e) if e.key == key => {
-                    e.meta = meta;
-                    e.last_use = clock;
+            match self.keys[i] {
+                Some(k) if k == key => {
+                    self.metas[i] = meta;
+                    self.stamps[i] = clock;
                     return None;
                 }
-                Some(e) => {
-                    if e.last_use < victim_last_use {
-                        victim_last_use = e.last_use;
+                Some(_) => {
+                    if self.stamps[i] < victim_stamp {
+                        victim_stamp = self.stamps[i];
                         victim_idx = i;
                     }
                 }
@@ -105,44 +131,63 @@ impl<K: Copy + Eq, M> SetArray<K, M> {
             }
         }
         if let Some(i) = free {
-            self.ways[i] = Some(Entry { key, meta, last_use: clock });
+            self.keys[i] = Some(key);
+            self.metas[i] = meta;
+            self.stamps[i] = clock;
+            self.live += 1;
             return None;
         }
-        let victim = self.ways[victim_idx].take().expect("victim way occupied");
-        self.ways[victim_idx] = Some(Entry { key, meta, last_use: clock });
-        Some((victim.key, victim.meta))
+        let victim_key = self.keys[victim_idx].replace(key).expect("victim way occupied");
+        let victim_meta = std::mem::replace(&mut self.metas[victim_idx], meta);
+        self.stamps[victim_idx] = clock;
+        Some((victim_key, victim_meta))
     }
 
     /// Removes `key` from `set`, returning its metadata.
     pub fn remove(&mut self, set: usize, key: K) -> Option<M> {
-        let range = self.set_range(set);
-        for i in range {
-            if self.ways[i].as_ref().is_some_and(|e| e.key == key) {
-                return self.ways[i].take().map(|e| e.meta);
+        let i = self.find(set, key)?;
+        self.keys[i] = None;
+        self.live -= 1;
+        Some(std::mem::take(&mut self.metas[i]))
+    }
+
+    /// Empties the array, visiting every resident entry as
+    /// `(set, key, meta)` in set order (way order within a set) — the
+    /// allocation-free backbone of every `flush()` implementation.
+    /// Statistics such as the LRU clock are preserved.
+    pub fn drain_all(&mut self, mut f: impl FnMut(usize, K, M)) {
+        for set in 0..self.num_sets {
+            for i in self.set_range(set) {
+                if let Some(key) = self.keys[i].take() {
+                    self.live -= 1;
+                    f(set, key, std::mem::take(&mut self.metas[i]));
+                }
             }
         }
-        None
     }
 
     /// Iterates over the `(key, meta)` pairs resident in `set`.
     pub fn iter_set(&self, set: usize) -> impl Iterator<Item = (&K, &M)> {
         let range = self.set_range(set);
-        self.ways[range].iter().flatten().map(|e| (&e.key, &e.meta))
+        self.keys[range.clone()]
+            .iter()
+            .zip(&self.metas[range])
+            .filter_map(|(k, m)| k.as_ref().map(|k| (k, m)))
     }
 
     /// Iterates over every resident `(key, meta)` pair.
     pub fn iter(&self) -> impl Iterator<Item = (&K, &M)> {
-        self.ways.iter().flatten().map(|e| (&e.key, &e.meta))
+        self.keys.iter().zip(&self.metas).filter_map(|(k, m)| k.as_ref().map(|k| (k, m)))
     }
 
     /// Number of resident entries.
     pub fn len(&self) -> usize {
-        self.ways.iter().flatten().count()
+        self.live
     }
 
     /// Whether the array holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.ways.iter().all(|w| w.is_none())
+        self.live == 0
     }
 }
 
@@ -217,6 +262,20 @@ mod tests {
         let set0: Vec<_> = a.iter_set(0).map(|(k, m)| (*k, *m)).collect();
         assert_eq!(set0, vec![(1, 10)]);
         assert_eq!(a.iter().count(), 2);
+    }
+
+    #[test]
+    fn drain_all_yields_set_order_and_empties() {
+        let mut a: SetArray<u64, u8> = SetArray::new(2, 2);
+        a.insert(1, 30, 3);
+        a.insert(0, 10, 1);
+        a.insert(0, 20, 2);
+        let mut seen = Vec::new();
+        a.drain_all(|set, k, m| seen.push((set, k, m)));
+        assert_eq!(seen, vec![(0, 10, 1), (0, 20, 2), (1, 30, 3)]);
+        assert!(a.is_empty());
+        assert_eq!(a.iter().count(), 0);
+        assert!(a.insert(0, 40, 4).is_none(), "ways free after drain");
     }
 
     #[test]

@@ -41,7 +41,7 @@ fn demand(cache: &mut dyn CacheLevel, acc: &Access) {
             0
         };
         for (i, line) in probe.fills.iter().enumerate() {
-            cache.fill(*line, if i == 0 { dirty } else { 0 });
+            cache.fill_collect(*line, if i == 0 { dirty } else { 0 });
         }
     }
 }
@@ -81,7 +81,7 @@ fn flush_after_writes_reports_every_written_word() {
             expected.extend(line.words());
         }
         let mut flushed = Vec::new();
-        for wb in cache.flush() {
+        for wb in cache.flush_collect() {
             for off in 0..8u8 {
                 if wb.dirty & (1 << off) != 0 {
                     flushed.push(wb.line.word_at(off));

@@ -63,7 +63,7 @@ fn apply(cache: &mut Cache1P2L, step: Step) -> Vec<Writeback> {
         }
     };
     let probe = cache.probe(&acc);
-    let mut wbs = probe.writebacks.clone();
+    let mut wbs: Vec<Writeback> = probe.writebacks.to_vec();
     if !probe.hit {
         let line = probe.fills[0];
         let dirty = if acc.is_write {
@@ -74,7 +74,7 @@ fn apply(cache: &mut Cache1P2L, step: Step) -> Vec<Writeback> {
         } else {
             0
         };
-        wbs.extend(cache.fill(line, dirty));
+        wbs.extend(cache.fill_collect(line, dirty));
     }
     wbs
 }
@@ -159,7 +159,7 @@ proptest! {
                 }
             }
         }
-        for wb in cache.flush() {
+        for wb in cache.flush_collect() {
             for off in 0..8u8 {
                 if wb.dirty & (1 << off) != 0 {
                     written_back.insert(wb.line.word_at(off));

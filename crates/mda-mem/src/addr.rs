@@ -33,9 +33,10 @@ pub const TILE_BYTES: u64 = LINE_BYTES * TILE_LINES as u64;
 /// `Row` transfers move unit-stride words; `Col` transfers move the same
 /// quantity of words with a fixed tile-height stride, served by the MDA
 /// memory's column buffer in a single operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub enum Orientation {
     /// Unit-stride (conventional) direction.
+    #[default]
     Row,
     /// Fixed non-unit-stride direction, native to MDA memories.
     Col,
@@ -129,7 +130,7 @@ impl std::fmt::Display for WordAddr {
 /// with index `c` covers words `(tile, 0..8, c)`. Lines of different
 /// orientation within the same tile *intersect* in exactly one word, which is
 /// the source of the duplication phenomena handled by the 1P2L cache policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct LineKey {
     /// The 2-D block the line belongs to.
     pub tile: TileId,
@@ -283,6 +284,22 @@ impl DecodedAddr {
         let par = (channels * ranks * banks) as u64;
         let bits = 64 - (par.max(2) - 1).leading_zeros();
         let folded = tile ^ (tile >> bits) ^ (tile >> (2 * bits));
+        // The paper's geometry (4 channels × 1 rank × 8 banks) is all
+        // powers of two, so the div/mod chain reduces to shifts and masks
+        // on the per-request path; arbitrary geometries keep the general
+        // form below.
+        if channels.is_power_of_two() && ranks.is_power_of_two() && banks.is_power_of_two() {
+            let ch_bits = channels.trailing_zeros();
+            let rk_bits = ranks.trailing_zeros();
+            let bk_bits = banks.trailing_zeros();
+            let rest = folded >> ch_bits;
+            return DecodedAddr {
+                channel: (folded & (channels as u64 - 1)) as usize,
+                rank: (rest & (ranks as u64 - 1)) as usize,
+                bank: ((rest >> rk_bits) & (banks as u64 - 1)) as usize,
+                tile_in_bank: tile >> (ch_bits + rk_bits + bk_bits),
+            };
+        }
         let channel = (folded % channels as u64) as usize;
         let rest = folded / channels as u64;
         let rank = (rest % ranks as u64) as usize;

@@ -17,22 +17,33 @@
 //! paper's Sec. IX-B discussion of parallel workloads.
 
 use crate::core::Core;
-use mda_cache::level::{Access, AccessWidth};
+use mda_cache::level::{Access, AccessWidth, Probe};
 use mda_cache::mshr::MshrDecision;
-use mda_cache::{CacheLevel, Mshr, StridePrefetcher, Writeback};
+use mda_cache::{CacheLevel, LevelKind, Mshr, StridePrefetcher, Writeback};
 use mda_compiler::MemOp;
 use mda_mem::{Cycle, LineKey, MainMemory, Orientation};
 
 /// A cache hierarchy (one or more cores' paths over a pool of cache
 /// levels) attached to an MDA main memory.
+///
+/// The level pool is a `Vec<LevelKind>` — every trait call on the demand
+/// path statically dispatches — and fill/writeback/flush side effects land
+/// in recycled scratch buffers, so a steady-state access performs no heap
+/// allocation.
 pub struct Hierarchy {
-    levels: Vec<Box<dyn CacheLevel>>,
+    levels: Vec<LevelKind>,
     mshrs: Vec<Mshr>,
     /// Per-core sequence of pool indices, L1 first. Shared levels (e.g. a
     /// common LLC) appear on several paths.
     paths: Vec<Vec<usize>>,
     prefetchers: Vec<Option<StridePrefetcher>>,
     mem: MainMemory,
+    /// Recycled writeback scratch buffers: one per live recursion frame,
+    /// returned (cleared, capacity kept) when the frame finishes.
+    scratch: Vec<Vec<Writeback>>,
+    /// One recycled [`Probe`] per recursion depth (frames at different
+    /// positions never alias), so the per-access hot path re-zeroes nothing.
+    probes: Vec<Probe>,
 }
 
 impl Hierarchy {
@@ -42,14 +53,23 @@ impl Hierarchy {
     /// # Panics
     /// Panics if no levels are supplied.
     pub fn new(
-        levels: Vec<Box<dyn CacheLevel>>,
+        levels: Vec<LevelKind>,
         prefetcher: Option<StridePrefetcher>,
         mem: MainMemory,
     ) -> Hierarchy {
         assert!(!levels.is_empty(), "hierarchy needs at least one cache level");
         let mshrs = levels.iter().map(|l| Mshr::new(l.config().mshrs)).collect();
         let path = (0..levels.len()).collect();
-        Hierarchy { levels, mshrs, paths: vec![path], prefetchers: vec![prefetcher], mem }
+        let probes = vec![Probe::hit(); levels.len()];
+        Hierarchy {
+            levels,
+            mshrs,
+            paths: vec![path],
+            prefetchers: vec![prefetcher],
+            mem,
+            scratch: Vec::new(),
+            probes,
+        }
     }
 
     /// Builds a multi-programmed hierarchy: each core gets the private
@@ -60,14 +80,14 @@ impl Hierarchy {
     /// Panics if no cores are given or the prefetcher list length does not
     /// match the core count.
     pub fn multicore(
-        private_per_core: Vec<Vec<Box<dyn CacheLevel>>>,
-        shared_llc: Box<dyn CacheLevel>,
+        private_per_core: Vec<Vec<LevelKind>>,
+        shared_llc: LevelKind,
         prefetchers: Vec<Option<StridePrefetcher>>,
         mem: MainMemory,
     ) -> Hierarchy {
         assert!(!private_per_core.is_empty(), "need at least one core");
         assert_eq!(private_per_core.len(), prefetchers.len(), "one prefetcher slot per core");
-        let mut levels: Vec<Box<dyn CacheLevel>> = Vec::new();
+        let mut levels: Vec<LevelKind> = Vec::new();
         let mut paths = Vec::new();
         for privates in private_per_core {
             let mut path = Vec::with_capacity(privates.len() + 1);
@@ -83,7 +103,21 @@ impl Hierarchy {
             p.push(llc_idx);
         }
         let mshrs = levels.iter().map(|l| Mshr::new(l.config().mshrs)).collect();
-        Hierarchy { levels, mshrs, paths, prefetchers, mem }
+        let probes = vec![Probe::hit(); levels.len()];
+        Hierarchy { levels, mshrs, paths, prefetchers, mem, scratch: Vec::new(), probes }
+    }
+
+    /// Borrows a cleared writeback buffer from the recycled pool (or makes
+    /// a fresh one on the first few uses — the pool quickly saturates at
+    /// the maximum recursion depth and allocation stops).
+    fn take_scratch(&mut self) -> Vec<Writeback> {
+        self.scratch.pop().unwrap_or_default()
+    }
+
+    /// Returns a scratch buffer to the pool, keeping its capacity.
+    fn put_scratch(&mut self, mut buf: Vec<Writeback>) {
+        buf.clear();
+        self.scratch.push(buf);
     }
 
     /// Number of cores (paths).
@@ -94,7 +128,7 @@ impl Hierarchy {
     /// The level pool. For a single-core hierarchy this is the path from L1
     /// to the LLC; for a multi-programmed one it is every private level in
     /// core order followed by the shared LLC (last entry).
-    pub fn levels(&self) -> &[Box<dyn CacheLevel>] {
+    pub fn levels(&self) -> &[LevelKind] {
         &self.levels
     }
 
@@ -111,7 +145,7 @@ impl Hierarchy {
     /// Decomposes a single-core hierarchy back into its level pool (used
     /// by the multi-programmed builder to reuse the per-design level
     /// construction).
-    pub fn into_levels(self) -> Vec<Box<dyn CacheLevel>> {
+    pub fn into_levels(self) -> Vec<LevelKind> {
         self.levels
     }
 
@@ -160,23 +194,37 @@ impl Hierarchy {
     /// returns the completion cycle.
     fn access_at(&mut self, core: usize, pos: usize, acc: &Access, now: Cycle) -> Cycle {
         let level = self.paths[core][pos];
-        let cfg = *self.levels[level].config();
-        let probe = self.levels[level].probe(acc);
+        // Only these three scalars of the configuration matter here; pulling
+        // them out keeps the recursion frame small.
+        let (tag_latency, data_latency, write_penalty, hit_latency) = {
+            let cfg = self.levels[level].config();
+            (cfg.tag_latency, cfg.data_latency, cfg.write_penalty, cfg.hit_latency())
+        };
+        // The probe result lands in a per-depth recycled buffer; all
+        // recursion from this frame goes to `pos + 1`, so the slot is stable
+        // for the whole frame and small pieces are copied out as needed.
+        {
+            let (levels, probes) = (&mut self.levels, &mut self.probes);
+            levels[level].probe_into(acc, &mut probes[pos]);
+        }
+        let hit = self.probes[pos].hit;
+        let extra_tag_accesses = self.probes[pos].extra_tag_accesses;
 
         // Tag/data pipeline of this level plus any extra sequential tag
         // checks (paper Sec. VI-A), plus the NVM write penalty on write
         // hits to a physically 2-D level.
-        let mut latency = cfg.hit_latency() + u64::from(probe.extra_tag_accesses) * cfg.tag_latency;
-        if probe.hit && acc.is_write {
-            latency += cfg.write_penalty;
+        let mut latency = hit_latency + u64::from(extra_tag_accesses) * tag_latency;
+        if hit && acc.is_write {
+            latency += write_penalty;
         }
 
         // Policy-forced writebacks (duplicate handling) go downward.
-        for wb in &probe.writebacks {
-            self.writeback(core, pos + 1, wb, now);
+        for i in 0..self.probes[pos].writebacks.len() {
+            let wb = self.probes[pos].writebacks[i];
+            self.writeback(core, pos + 1, &wb, now);
         }
 
-        if probe.hit {
+        if hit {
             // A hit on a line whose fill is still outstanding inherits the
             // fill's completion time (secondary-miss coalescing).
             let mut done = now + latency;
@@ -197,7 +245,7 @@ impl Hierarchy {
 
         // Miss: MSHR allocation / coalescing / ordering.
         let is_write = acc.is_write;
-        let demand_line = probe.fills[0];
+        let demand_line = self.probes[pos].fills[0];
         let after_tags = now + latency;
         let (issue_at, stalled) = match self.mshrs[level].on_miss(demand_line, is_write, after_tags)
         {
@@ -207,10 +255,13 @@ impl Hierarchy {
                 // flight; re-install it from the in-flight data (no new
                 // transfer) and apply the write's dirty words.
                 let dirty = if is_write { Self::written_mask(acc, &demand_line) } else { 0 };
-                for wb in self.levels[level].fill(demand_line, dirty) {
-                    self.writeback(core, pos + 1, &wb, now);
+                let mut wbs = self.take_scratch();
+                self.levels[level].fill(demand_line, dirty, &mut wbs);
+                for wb in &wbs {
+                    self.writeback(core, pos + 1, wb, now);
                 }
-                return completes.max(after_tags) + cfg.data_latency;
+                self.put_scratch(wbs);
+                return completes.max(after_tags) + data_latency;
             }
             MshrDecision::Allocated { issue_at, ready_at } => (issue_at, ready_at > after_tags),
         };
@@ -221,25 +272,32 @@ impl Hierarchy {
         // Fetch the demand line from below (critical), then any dense-fill
         // companions (they consume bandwidth but are off the critical path).
         let below_done = self.fetch_from_below(core, pos, demand_line, issue_at);
-        for extra in &probe.fills[1..] {
-            self.fetch_from_below(core, pos, *extra, below_done);
-            for wb in self.levels[level].fill(*extra, 0) {
-                self.writeback(core, pos + 1, &wb, below_done);
+        let mut wbs = self.take_scratch();
+        let num_fills = self.probes[pos].fills.len();
+        for i in 1..num_fills {
+            let extra = self.probes[pos].fills[i];
+            self.fetch_from_below(core, pos, extra, below_done);
+            self.levels[level].fill(extra, 0, &mut wbs);
+            for wb in &wbs {
+                self.writeback(core, pos + 1, wb, below_done);
             }
+            wbs.clear();
         }
 
         // Install the demand line; a write-allocate pre-dirties the written
         // words.
         let dirty = if is_write { Self::written_mask(acc, &demand_line) } else { 0 };
-        for wb in self.levels[level].fill(demand_line, dirty) {
-            self.writeback(core, pos + 1, &wb, below_done);
+        self.levels[level].fill(demand_line, dirty, &mut wbs);
+        for wb in &wbs {
+            self.writeback(core, pos + 1, wb, below_done);
         }
+        self.put_scratch(wbs);
         self.levels[level].stats_mut().bytes_from_below += mda_mem::LINE_BYTES;
 
-        let mut done = below_done + cfg.data_latency;
-        if cfg.write_penalty > 0 {
+        let mut done = below_done + data_latency;
+        if write_penalty > 0 {
             // Filling a physically 2-D array is a write into NVM.
-            done += cfg.write_penalty;
+            done += write_penalty;
         }
         self.mshrs[level].complete(demand_line, is_write, done);
         done
@@ -278,17 +336,16 @@ impl Hierarchy {
         let upper = self.paths[core][pos - 1];
         self.levels[upper].stats_mut().bytes_to_below +=
             u64::from(wb.words()) * mda_mem::WORD_BYTES;
-        if let Some(cascades) = self.levels[level].absorb_writeback(wb) {
-            for c in cascades {
-                self.writeback(core, pos + 1, &c, now);
-            }
-            return;
+        let mut cascades = self.take_scratch();
+        if !self.levels[level].absorb_writeback(wb, &mut cascades) {
+            // Write-allocate the victim: install it (sparsely for a 2P2L
+            // level) and cascade any evictions further down.
+            self.levels[level].fill(wb.line, wb.dirty, &mut cascades);
         }
-        // Write-allocate the victim: install it (sparsely for a 2P2L level)
-        // and cascade any evictions further down.
-        for evicted in self.levels[level].fill(wb.line, wb.dirty) {
-            self.writeback(core, pos + 1, &evicted, now);
+        for c in &cascades {
+            self.writeback(core, pos + 1, c, now);
         }
+        self.put_scratch(cascades);
     }
 
     /// Issues a non-blocking prefetch of `line` into `core`'s L1 (and the
@@ -302,9 +359,12 @@ impl Hierarchy {
             MshrDecision::Coalesced { .. } => {}
             MshrDecision::Allocated { issue_at, .. } => {
                 let done = self.fetch_from_below(core, 0, line, issue_at);
-                for wb in self.levels[l1].fill(line, 0) {
-                    self.writeback(core, 1, &wb, done);
+                let mut wbs = self.take_scratch();
+                self.levels[l1].fill(line, 0, &mut wbs);
+                for wb in &wbs {
+                    self.writeback(core, 1, wb, done);
                 }
+                self.put_scratch(wbs);
                 self.levels[l1].stats_mut().prefetch_fills += 1;
                 self.levels[l1].stats_mut().bytes_from_below += mda_mem::LINE_BYTES;
                 self.mshrs[l1].complete(line, false, done);
@@ -327,9 +387,12 @@ impl Hierarchy {
                     continue;
                 }
                 flushed[level] = true;
-                for wb in self.levels[level].flush() {
-                    self.writeback(core, pos + 1, &wb, now);
+                let mut wbs = self.take_scratch();
+                self.levels[level].flush(&mut wbs);
+                for wb in &wbs {
+                    self.writeback(core, pos + 1, wb, now);
                 }
+                self.put_scratch(wbs);
             }
         }
     }
@@ -357,6 +420,7 @@ impl Hierarchy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mda_cache::level::CacheLevelExt;
     use mda_cache::{Cache1P1L, Cache1P2L, Cache2P2L, CacheConfig, SetMapping};
     use mda_mem::{MemConfig, WordAddr};
 
@@ -371,11 +435,7 @@ mod tests {
         let mut l2cfg = CacheConfig::l2_256k();
         l2cfg.size_bytes = 16 * 1024;
         let l2 = Cache1P2L::new(l2cfg, SetMapping::DifferentSet);
-        Hierarchy::new(
-            vec![Box::new(l1), Box::new(l2)],
-            None,
-            MainMemory::new(MemConfig::paper()),
-        )
+        Hierarchy::new(vec![l1.into(), l2.into()], None, MainMemory::new(MemConfig::paper()))
     }
 
     fn op(word: WordAddr, orient: Orientation, vector: bool, write: bool) -> MemOp {
@@ -452,7 +512,7 @@ mod tests {
         l2cfg.size_bytes = 16 * 1024;
         let l2 = Cache1P1L::new(l2cfg);
         let mut h = Hierarchy::new(
-            vec![Box::new(l1), Box::new(l2)],
+            vec![l1.into(), l2.into()],
             Some(StridePrefetcher::new(4)),
             MainMemory::new(MemConfig::paper()),
         );
@@ -476,16 +536,13 @@ mod tests {
         let mut llc_cfg = CacheConfig::l3(16 * 1024);
         llc_cfg.assoc = 8;
         let llc = Cache2P2L::new(llc_cfg);
-        let mut h = Hierarchy::new(
-            vec![Box::new(l1), Box::new(llc)],
-            None,
-            MainMemory::new(MemConfig::paper()),
-        );
+        let mut h =
+            Hierarchy::new(vec![l1.into(), llc.into()], None, MainMemory::new(MemConfig::paper()));
         let line = LineKey::new(0, Orientation::Col, 3);
         let w = op(line.word_at(0), Orientation::Col, true, true);
         h.demand(&MemOp { vector: true, ..w }, 0);
         // Flush only L1 so its dirty line lands in the LLC.
-        let wbs = h.levels[0].flush();
+        let wbs = h.levels[0].flush_collect();
         for wb in wbs {
             h.writeback(0, 1, &wb, 1_000_000);
         }
@@ -508,20 +565,15 @@ mod tests {
     }
 
     fn two_core_shared_llc() -> Hierarchy {
-        let privates: Vec<Vec<Box<dyn CacheLevel>>> = (0..2)
-            .map(|_| {
-                vec![
-                    Box::new(Cache1P2L::new(small(4096), SetMapping::DifferentSet))
-                        as Box<dyn CacheLevel>,
-                ]
-            })
+        let privates: Vec<Vec<LevelKind>> = (0..2)
+            .map(|_| vec![Cache1P2L::new(small(4096), SetMapping::DifferentSet).into()])
             .collect();
         let mut llc_cfg = CacheConfig::l3(16 * 1024);
         llc_cfg.assoc = 8;
         let llc = Cache1P2L::new(llc_cfg, SetMapping::DifferentSet);
         Hierarchy::multicore(
             privates,
-            Box::new(llc),
+            llc.into(),
             vec![None, None],
             MainMemory::new(MemConfig::paper()),
         )

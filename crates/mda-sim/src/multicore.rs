@@ -13,7 +13,7 @@ use crate::core::Core;
 use crate::hierarchy::Hierarchy;
 use crate::report::SimReport;
 use crate::system::{HierarchyKind, SystemConfig};
-use mda_cache::{CacheLevel, StridePrefetcher};
+use mda_cache::{CacheLevel, LevelKind, StridePrefetcher};
 use mda_compiler::tracefile::RecordedTrace;
 use mda_compiler::trace::{OpCounts, TraceOp, TraceSource};
 use mda_mem::{Cycle, MainMemory, WordAddr};
@@ -53,7 +53,7 @@ impl SystemConfig {
     pub fn build_multicore_hierarchy(&self, cores: usize) -> Hierarchy {
         assert!(cores > 0, "need at least one core");
         assert!(self.l3.is_some(), "multi-programmed systems need a dedicated shared LLC");
-        let mut privates: Vec<Vec<Box<dyn CacheLevel>>> = Vec::with_capacity(cores);
+        let mut privates: Vec<Vec<LevelKind>> = Vec::with_capacity(cores);
         let mut prefetchers: Vec<Option<StridePrefetcher>> = Vec::with_capacity(cores);
         for _ in 0..cores {
             // Reuse the single-core builder, then split off its private

@@ -4,6 +4,7 @@ use crate::core::Core;
 use crate::occupancy::OccupancyTimeline;
 use crate::report::SimReport;
 use crate::system::SystemConfig;
+use mda_cache::CacheLevel;
 use mda_compiler::trace::{OpCounts, TraceOp, TraceSource};
 
 /// Simulates `src` on the system described by `cfg`, consuming the trace

@@ -4,7 +4,7 @@
 use crate::core::CoreConfig;
 use crate::hierarchy::Hierarchy;
 use mda_cache::{
-    Cache1P1L, Cache1P2L, Cache2P1L, Cache2P2L, CacheConfig, CacheLevel, SetMapping,
+    Cache1P1L, Cache1P2L, Cache2P1L, Cache2P2L, CacheConfig, LevelKind, SetMapping,
     StridePrefetcher,
 };
 use mda_compiler::CodegenOptions;
@@ -240,7 +240,7 @@ impl SystemConfig {
             None => non_llc.pop().expect("two-level system keeps L1"),
         };
 
-        let mut levels: Vec<Box<dyn CacheLevel>> = Vec::new();
+        let mut levels: Vec<LevelKind> = Vec::new();
         let mapping = match self.kind {
             HierarchyKind::P1L2SameSet => SetMapping::SameSet,
             _ => SetMapping::DifferentSet,
@@ -248,21 +248,21 @@ impl SystemConfig {
         for cfg in &non_llc {
             levels.push(match self.kind {
                 HierarchyKind::Baseline1P1L | HierarchyKind::P2L1 => {
-                    Box::new(Cache1P1L::new(*cfg)) as Box<dyn CacheLevel>
+                    Cache1P1L::new(*cfg).into()
                 }
-                _ => Box::new(Cache1P2L::new(*cfg, mapping)) as Box<dyn CacheLevel>,
+                _ => Cache1P2L::new(*cfg, mapping).into(),
             });
         }
         let mut llc_cfg = llc_cfg;
         llc_cfg.write_penalty = self.llc_write_penalty;
         levels.push(match self.kind {
-            HierarchyKind::Baseline1P1L => Box::new(Cache1P1L::new(llc_cfg)),
+            HierarchyKind::Baseline1P1L => Cache1P1L::new(llc_cfg).into(),
             HierarchyKind::P1L2DifferentSet | HierarchyKind::P1L2SameSet => {
-                Box::new(Cache1P2L::new(llc_cfg, mapping)) as Box<dyn CacheLevel>
+                Cache1P2L::new(llc_cfg, mapping).into()
             }
-            HierarchyKind::P2L2Sparse => Box::new(Cache2P2L::new(llc_cfg)),
-            HierarchyKind::P2L2Dense => Box::new(Cache2P2L::with_fill_policy(llc_cfg, false)),
-            HierarchyKind::P2L1 => Box::new(Cache2P1L::new(llc_cfg)),
+            HierarchyKind::P2L2Sparse => Cache2P2L::new(llc_cfg).into(),
+            HierarchyKind::P2L2Dense => Cache2P2L::with_fill_policy(llc_cfg, false).into(),
+            HierarchyKind::P2L1 => Cache2P1L::new(llc_cfg).into(),
         });
 
         let prefetcher = match self.kind {
@@ -280,6 +280,7 @@ impl SystemConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mda_cache::CacheLevel;
 
     #[test]
     fn presets_build_for_every_kind() {

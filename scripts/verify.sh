@@ -13,6 +13,8 @@
 #   5. degraded-cell drill: a deliberately panicking cell (MDA_PANIC_CELL)
 #      must come back as "degraded" while the rest of the figure survives
 #      and the process exits zero
+#   6. clippy perf lints on the hot-path crates
+#   7. `figures --bench-sim --smoke` must produce a well-formed BENCH_sim.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,6 +23,9 @@ cargo build --release
 
 echo "== tier-1: test suite =="
 cargo test -q
+
+echo "== lint: clippy perf lints on hot-path crates =="
+cargo clippy -q -p mda-cache -p mda-sim -- -D clippy::perf
 
 echo "== smoke: figures all --scale tiny, --jobs 1 vs --jobs 2 =="
 cargo build -q --release -p mda-bench
@@ -58,5 +63,20 @@ echo "== smoke: malformed MDA_JOBS warns instead of being ignored =="
 MDA_JOBS=banana "$FIGURES" fig13 --scale tiny >/dev/null 2>"$TMP/jobs_err.txt"
 grep -q "ignoring MDA_JOBS" "$TMP/jobs_err.txt"
 echo "malformed MDA_JOBS produces a warning"
+
+echo "== smoke: --bench-sim writes a well-formed BENCH_sim.json =="
+# Single tiny-scale rep in a scratch dir so the committed BENCH_sim.json
+# (full scaled run) is left alone.
+(cd "$TMP" && "$OLDPWD/$FIGURES" --bench-sim --smoke >/dev/null 2>&1)
+test -s "$TMP/BENCH_sim.json"
+python3 - "$TMP/BENCH_sim.json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+cells = d["cells"]
+assert cells, "no cells"
+for c in cells:
+    assert c["accesses_per_sec"] > 0 and c["seconds"] > 0 and c["mem_ops"] > 0, c
+print(f"BENCH_sim.json well-formed ({len(cells)} cells)")
+EOF
 
 echo "verify: OK"

@@ -2,7 +2,7 @@
 //! program must reach main memory once the hierarchy is drained, through
 //! any design point.
 
-use mdacache::cache::level::CacheLevelExt;
+use mdacache::cache::level::{CacheLevel, CacheLevelExt};
 use mdacache::sim::{HierarchyKind, SystemConfig};
 use mdacache::workloads::Kernel;
 use mdacache::compiler::TraceOp;

@@ -4,7 +4,7 @@
 //! `ReuseProfile::hit_rate_at(F)` must equal the hit rate of a simulated
 //! one-set, F-way `Cache1P1L` on the same trace — bit for bit.
 
-use mdacache::cache::{Access, Cache1P1L, CacheConfig, CacheLevel};
+use mdacache::cache::{Access, Cache1P1L, CacheConfig, CacheLevel, CacheLevelExt};
 use mdacache::compiler::reuse::{ReuseGranularity, ReuseProfile};
 use mdacache::compiler::{AffineExpr, ArrayRef, CodegenOptions, Loop, LoopNest, Program};
 use mdacache::compiler::trace::{TraceOp, TraceSource};
@@ -37,7 +37,7 @@ fn simulated_fa_hit_rate(p: &Program, frames: usize) -> f64 {
             let acc = Access::scalar_read(m.word, Orientation::Row, m.stream);
             let probe = cache.probe(&acc);
             if !probe.hit {
-                cache.fill(probe.fills[0], 0);
+                cache.fill_collect(probe.fills[0], 0);
             }
         }
     });
