@@ -34,6 +34,7 @@ impl Cache1P1L {
     /// Panics if the configuration is invalid.
     pub fn new(config: CacheConfig) -> Cache1P1L {
         if let Err(msg) = config.validate() {
+            // mda-lint: allow(lib-unwrap): documented `# Panics` contract rejecting invalid configs
             panic!("invalid CacheConfig: {msg}");
         }
         let array = SetArray::new(config.line_sets(), config.assoc);
@@ -49,6 +50,7 @@ impl Cache1P1L {
     fn target_line(acc: &Access) -> LineKey {
         match (acc.width, acc.orient) {
             (AccessWidth::Vector, Orientation::Col) => {
+                // mda-lint: allow(lib-unwrap): documented API contract; the compiler never emits column vectors for 1P1L
                 panic!(
                     "column vector access reached a 1P1L cache; the compiler \
                      must lower these to scalars for 1-D hierarchies"
@@ -72,6 +74,7 @@ impl CacheLevel for Cache1P1L {
         let hit = if let Some(meta) = self.array.get_mut(set, line) {
             if acc.is_write {
                 for w in acc.words() {
+                    // mda-lint: allow(lib-unwrap): geometric invariant; acc.words() stay within the target line
                     let off = line.offset_of(w).expect("access word within target line");
                     meta.dirty |= 1 << off;
                 }

@@ -98,6 +98,7 @@ impl Cache1P2L {
     /// Panics if the configuration is invalid.
     pub fn new(config: CacheConfig, mapping: SetMapping) -> Cache1P2L {
         if let Err(msg) = config.validate() {
+            // mda-lint: allow(lib-unwrap): documented `# Panics` contract rejecting invalid configs
             panic!("invalid CacheConfig: {msg}");
         }
         let array = SetArray::new(config.line_sets(), config.assoc);
@@ -216,6 +217,7 @@ impl Cache1P2L {
                 self.evict_line(other, out);
             } else {
                 // Read to duplicate: a dirty other copy is propagated first.
+                // mda-lint: allow(lib-unwrap): geometric invariant; intersecting_at returns a line containing the word
                 let other_off = other.offset_of(word).expect("intersection is on the line");
                 let other_dirty = self
                     .array
@@ -229,6 +231,29 @@ impl Cache1P2L {
             }
         }
     }
+
+    /// Debug-build mirror of the model checker's `DirtyNotSole` invariant:
+    /// a dirty word must be that word's only resident copy — duplication is
+    /// legal only while every shared word is clean (Fig. 9). Scans the whole
+    /// array, so it compiles to nothing in release builds.
+    #[cfg(debug_assertions)]
+    fn debug_assert_dirty_words_sole(&self) {
+        for (key, meta) in self.array.iter() {
+            let mut dirty = meta.dirty;
+            while dirty != 0 {
+                let off = dirty.trailing_zeros() as u8;
+                dirty &= dirty - 1;
+                let other = key.intersecting_at(key.word_at(off));
+                debug_assert!(
+                    !self.present(&other),
+                    "dirty word duplicated: {key} word {off} also resident in {other}"
+                );
+            }
+        }
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn debug_assert_dirty_words_sole(&self) {}
 
     /// Applies a demand write to a resident line, enforcing the duplicate
     /// policy on every written word.
@@ -290,6 +315,7 @@ impl CacheLevel for Cache1P2L {
             }
             AccessWidth::Scalar => {
                 if acc.is_write {
+                    // mda-lint: allow(lib-unwrap): geometric invariant; preferred line contains acc.word by construction
                     let off = preferred.offset_of(acc.word).expect("word within preferred line");
                     let other = preferred.intersecting_at(acc.word);
                     // Writes always check both orientations.
@@ -301,6 +327,7 @@ impl CacheLevel for Cache1P2L {
                         // Mis-oriented write hit: the word's sole copy lives
                         // in the other orientation; modify it there.
                         let other_off =
+                            // mda-lint: allow(lib-unwrap): geometric invariant; intersecting_at returns a line containing the word
                             other.offset_of(acc.word).expect("intersection is on the line");
                         self.write_resident(other, 1 << other_off, &mut out.writebacks);
                         self.stats.misoriented_hits += 1;
@@ -335,6 +362,7 @@ impl CacheLevel for Cache1P2L {
         }
 
         self.stats.extra_tag_accesses += u64::from(out.extra_tag_accesses);
+        self.debug_assert_dirty_words_sole();
     }
 
     fn fill(&mut self, line: LineKey, dirty: u8, out: &mut Vec<Writeback>) {
@@ -358,6 +386,7 @@ impl CacheLevel for Cache1P2L {
             }
         }
         self.note_line_added(&line);
+        self.debug_assert_dirty_words_sole();
     }
 
     fn absorb_writeback(&mut self, wb: &Writeback, cascades: &mut Vec<Writeback>) -> bool {
@@ -370,6 +399,7 @@ impl CacheLevel for Cache1P2L {
         let before = cascades.len();
         self.write_resident(wb.line, wb.dirty, cascades);
         debug_assert!(cascades[before..].iter().all(|w| w.line.overlaps(&wb.line)));
+        self.debug_assert_dirty_words_sole();
         true
     }
 

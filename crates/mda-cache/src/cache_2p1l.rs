@@ -40,6 +40,7 @@ impl Cache2P1L {
     /// block per set.
     pub fn new(config: CacheConfig) -> Cache2P1L {
         if let Err(msg) = config.validate() {
+            // mda-lint: allow(lib-unwrap): documented `# Panics` contract rejecting invalid configs
             panic!("invalid CacheConfig: {msg}");
         }
         assert!(config.tile_sets() > 0, "capacity too small for 512-byte blocks");
@@ -55,6 +56,7 @@ impl Cache2P1L {
     /// logically 1-D organization).
     fn target_line(acc: &Access) -> LineKey {
         match (acc.width, acc.orient) {
+            // mda-lint: allow(lib-unwrap): documented API contract; the compiler never emits column vectors for 2P1L
             (AccessWidth::Vector, Orientation::Col) => panic!(
                 "column vector access reached a 2P1L cache; the compiler \
                  must lower these to scalars for logically 1-D hierarchies"

@@ -60,6 +60,14 @@ impl TileMeta {
         self.row_valid & (1 << r) != 0 || self.col_valid & (1 << c) != 0
     }
 
+    /// Debug-build mirror of the model checker's `DirtyInvalidLine`
+    /// invariant: a dirty bit may only be set on a present line.
+    fn debug_assert_dirty_implies_valid(&self) {
+        debug_assert!(
+            self.row_dirty & !self.row_valid == 0 && self.col_dirty & !self.col_valid == 0,
+            "dirty bit on an absent line: {self:?}"
+        );
+    }
 }
 
 /// The physically 2-D cache.
@@ -89,6 +97,7 @@ impl Cache2P2L {
     /// set.
     pub fn with_fill_policy(config: CacheConfig, sparse: bool) -> Cache2P2L {
         if let Err(msg) = config.validate() {
+            // mda-lint: allow(lib-unwrap): documented `# Panics` contract rejecting invalid configs
             panic!("invalid CacheConfig: {msg}");
         }
         assert!(config.tile_sets() > 0, "capacity too small for 512-byte blocks");
@@ -206,6 +215,7 @@ impl CacheLevel for Cache2P2L {
                 if classified.0 && acc.is_write {
                     Self::mark_dirty(meta, acc);
                 }
+                meta.debug_assert_dirty_implies_valid();
                 resident = Some(*meta);
                 classified
             }
@@ -228,6 +238,7 @@ impl CacheLevel for Cache2P2L {
             if dirty != 0 {
                 meta.set_dirty(line.orient, line.idx);
             }
+            meta.debug_assert_dirty_implies_valid();
             return;
         }
         self.stats.demand_fills += 1;
@@ -236,6 +247,7 @@ impl CacheLevel for Cache2P2L {
         if dirty != 0 {
             meta.set_dirty(line.orient, line.idx);
         }
+        meta.debug_assert_dirty_implies_valid();
         if let Some((victim, vm)) = self.array.insert(set, line.tile, meta) {
             self.stats.writebacks_out += Self::push_writebacks(victim, &vm, out);
         }
@@ -247,6 +259,7 @@ impl CacheLevel for Cache2P2L {
             Some(meta) => {
                 meta.set_valid(wb.line.orient, wb.line.idx);
                 meta.set_dirty(wb.line.orient, wb.line.idx);
+                meta.debug_assert_dirty_implies_valid();
                 true
             }
             None => false,

@@ -1,3 +1,4 @@
+// mda-lint: hot-path
 //! The [`CacheLevel`] interface and the access/probe vocabulary shared by
 //! all cache organizations.
 
@@ -75,6 +76,7 @@ impl Access {
             AccessWidth::Vector => mda_mem::LINE_WORDS as u8,
         };
         let start = match self.width {
+            // mda-lint: allow(lib-unwrap): geometric invariant; the target line contains self.word by construction
             AccessWidth::Scalar => line.offset_of(self.word).expect("word within line"),
             AccessWidth::Vector => 0,
         };
@@ -265,7 +267,7 @@ pub trait CacheLevelExt: CacheLevel {
     /// The words currently resident (through any covering line).
     fn resident_words(&self) -> std::collections::HashSet<WordAddr> {
         let mut out = std::collections::HashSet::with_capacity(
-            self.resident_lines() * mda_mem::LINE_WORDS as usize,
+            self.resident_lines() * mda_mem::LINE_WORDS,
         );
         self.for_each_line(&mut |k, _| out.extend(k.words()));
         out
@@ -287,6 +289,7 @@ pub trait CacheLevelExt: CacheLevel {
     /// [`CacheLevel::fill`] collected into a fresh `Vec` (test/debug
     /// convenience; the simulator recycles scratch buffers instead).
     fn fill_collect(&mut self, line: LineKey, dirty: u8) -> Vec<Writeback> {
+        // mda-lint: allow(hot-path-alloc): test/debug collector, never on the demand path
         let mut out = Vec::new();
         self.fill(line, dirty, &mut out);
         out
@@ -295,6 +298,7 @@ pub trait CacheLevelExt: CacheLevel {
     /// [`CacheLevel::absorb_writeback`] in the old `Option<Vec>` shape
     /// (test/debug convenience).
     fn absorb_collect(&mut self, wb: &Writeback) -> Option<Vec<Writeback>> {
+        // mda-lint: allow(hot-path-alloc): test/debug collector, never on the demand path
         let mut cascades = Vec::new();
         if self.absorb_writeback(wb, &mut cascades) { Some(cascades) } else { None }
     }
@@ -302,6 +306,7 @@ pub trait CacheLevelExt: CacheLevel {
     /// [`CacheLevel::flush`] collected into a fresh `Vec` (test/debug
     /// convenience).
     fn flush_collect(&mut self) -> Vec<Writeback> {
+        // mda-lint: allow(hot-path-alloc): test/debug collector, never on the demand path
         let mut out = Vec::new();
         self.flush(&mut out);
         out

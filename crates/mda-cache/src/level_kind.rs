@@ -1,3 +1,4 @@
+// mda-lint: hot-path
 //! Statically-dispatched sum of the four cache organizations.
 //!
 //! The simulator's hierarchy used to hold `Box<dyn CacheLevel>`, paying a
@@ -119,9 +120,9 @@ mod tests {
         cfg.size_bytes = 4096;
         let big = CacheConfig::l3(16 * 1024);
         vec![
-            Cache1P1L::new(cfg.clone()).into(),
+            Cache1P1L::new(cfg).into(),
             Cache1P2L::new(cfg, SetMapping::DifferentSet).into(),
-            Cache2P1L::new(big.clone()).into(),
+            Cache2P1L::new(big).into(),
             Cache2P2L::new(big).into(),
         ]
     }

@@ -1,3 +1,4 @@
+// mda-lint: hot-path
 //! 2-D-aware miss-status-holding registers (paper Sec. IV-B-b).
 //!
 //! Besides the usual duties — coalescing secondary misses to an outstanding
@@ -153,6 +154,7 @@ impl Mshr {
                 .iter()
                 .map(|e| e.completes)
                 .min()
+                // mda-lint: allow(lib-unwrap): structural invariant; this branch only runs when the file is full
                 .expect("full MSHR file is non-empty");
             self.entries.retain(|e| e.completes > earliest);
         }

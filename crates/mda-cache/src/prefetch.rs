@@ -1,3 +1,4 @@
+// mda-lint: hot-path
 //! Per-stream stride prefetcher for the 1P1L baseline.
 //!
 //! The paper evaluates its baseline *with* data prefetching enabled and the
@@ -107,8 +108,9 @@ impl StridePrefetcher {
             _ => {
                 // Cold stream (or a colliding id taking over the slot):
                 // start training from this line.
-                *slot = Some((stream, StreamEntry { last_line: line, stride: 0, confidence: 0 }));
-                &mut slot.as_mut().expect("slot just filled").1
+                let filled = slot
+                    .insert((stream, StreamEntry { last_line: line, stride: 0, confidence: 0 }));
+                &mut filled.1
             }
         };
 

@@ -1,3 +1,4 @@
+// mda-lint: hot-path
 //! Generic set-associative storage with true-LRU replacement.
 //!
 //! All three cache organizations share this container: `1P1L`/`1P2L` use it
@@ -34,6 +35,7 @@ impl<K: Copy + Eq, M: Default> SetArray<K, M> {
     pub fn new(num_sets: usize, assoc: usize) -> SetArray<K, M> {
         assert!(num_sets > 0 && assoc > 0, "sets and ways must be non-zero");
         let slots = num_sets * assoc;
+        // mda-lint: allow(hot-path-alloc): construction-time only; steady state never allocates
         let mut metas = Vec::new();
         metas.resize_with(slots, M::default);
         SetArray {
@@ -137,6 +139,7 @@ impl<K: Copy + Eq, M: Default> SetArray<K, M> {
             self.live += 1;
             return None;
         }
+        // mda-lint: allow(lib-unwrap): structural invariant; with no free way the victim way is occupied
         let victim_key = self.keys[victim_idx].replace(key).expect("victim way occupied");
         let victim_meta = std::mem::replace(&mut self.metas[victim_idx], meta);
         self.stamps[victim_idx] = clock;

@@ -7,7 +7,7 @@
 //! way the hierarchy does, and check exactly those invariants.
 
 use mda_cache::level::CacheLevelExt;
-use mda_cache::{Access, Cache1P2L, CacheConfig, CacheLevel, SetMapping, Writeback};
+use mda_cache::{Access, Cache1P2L, Cache2P2L, CacheConfig, CacheLevel, SetMapping, Writeback};
 use mda_mem::{LineKey, Orientation, WordAddr};
 use proptest::prelude::*;
 use std::collections::{HashMap, HashSet};
@@ -46,8 +46,10 @@ fn tiny_cache(mapping: SetMapping) -> Cache1P2L {
 }
 
 /// Applies one step through the demand protocol the hierarchy uses,
-/// returning every writeback the cache emitted.
-fn apply(cache: &mut Cache1P2L, step: Step) -> Vec<Writeback> {
+/// returning every writeback the cache emitted. Works for any level: the
+/// demand line (`fills[0]`) is write-allocated, companion fills (2P2L
+/// dense) arrive clean.
+fn apply<L: CacheLevel>(cache: &mut L, step: Step) -> Vec<Writeback> {
     let acc = match step {
         Step::ScalarRead { tile, r, c, orient } => {
             Access::scalar_read(WordAddr::from_tile_coords(tile, r, c), orient, 0)
@@ -74,7 +76,9 @@ fn apply(cache: &mut Cache1P2L, step: Step) -> Vec<Writeback> {
         } else {
             0
         };
-        wbs.extend(cache.fill_collect(line, dirty));
+        for (i, fill) in probe.fills.iter().enumerate() {
+            wbs.extend(cache.fill_collect(*fill, if i == 0 { dirty } else { 0 }));
+        }
     }
     wbs
 }
@@ -186,6 +190,31 @@ proptest! {
         let enum_cols = lines.iter().filter(|(k, _)| k.orient == Orientation::Col).count();
         prop_assert_eq!(rows, enum_rows);
         prop_assert_eq!(cols, enum_cols);
+    }
+
+    /// The 2P2L block cache survives random workouts under both fill
+    /// policies. The real teeth are the `debug_assert_dirty_implies_valid`
+    /// hooks inside `Cache2P2L` (mirroring the model checker's
+    /// `DirtyInvalidLine` invariant), which fire on every probe/fill/absorb
+    /// in this debug-built test; externally we re-check that occupancy
+    /// accounting matches the line enumeration after every step.
+    #[test]
+    fn block_cache_survives_random_workouts(
+        steps in proptest::collection::vec(step_strategy(4), 1..120),
+        sparse in any::<bool>(),
+    ) {
+        let mut cfg = CacheConfig::l3(16 * 1024);
+        cfg.assoc = 8;
+        let mut cache = Cache2P2L::with_fill_policy(cfg, sparse);
+        for step in steps {
+            apply(&mut cache, step);
+            let (rows, cols, _) = cache.occupancy();
+            let lines = cache.lines();
+            let enum_rows = lines.iter().filter(|(k, _)| k.orient == Orientation::Row).count();
+            let enum_cols = lines.iter().filter(|(k, _)| k.orient == Orientation::Col).count();
+            prop_assert_eq!(rows, enum_rows);
+            prop_assert_eq!(cols, enum_cols);
+        }
     }
 
     /// A scalar read immediately after any history hits if and only if the

@@ -1,0 +1,188 @@
+//! Command-line front end for the coherence model checker.
+//!
+//! Runs, in order: the exhaustive BFS over the 1P2L duplicate-word model
+//! and the 2P2L model (both fill policies), the mutation self-checks
+//! (seeded bugs must be detected — a checker that cannot fail proves
+//! nothing), and the differential replay against the real cache levels.
+//! Exits nonzero on any violation, divergence, or undetected mutation.
+//!
+//! ```text
+//! mda-check [--dim N] [--max-states N] [--depth N] [--random N]
+//!           [--skip-bfs] [--skip-diff] [--skip-mutations]
+//! ```
+
+use mda_check::diff::{run_differential, run_differential_with_dropped_word, DiffConfig};
+use mda_check::explore::{explore_1p2l, explore_2p2l, ExploreConfig};
+use mda_check::model::Mutation;
+
+struct Options {
+    dim: u8,
+    max_states: usize,
+    depth: usize,
+    random: usize,
+    run_bfs: bool,
+    run_diff: bool,
+    run_mutations: bool,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            dim: 2,
+            max_states: 0,
+            depth: 3,
+            random: 256,
+            run_bfs: true,
+            run_diff: true,
+            run_mutations: true,
+        }
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            args.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--dim" => {
+                opts.dim = value("--dim")?.parse().map_err(|e| format!("--dim: {e}"))?;
+                if opts.dim < 1 || opts.dim > 4 {
+                    return Err("--dim must be 1..=4 (the space explodes beyond)".to_string());
+                }
+            }
+            "--max-states" => {
+                opts.max_states =
+                    value("--max-states")?.parse().map_err(|e| format!("--max-states: {e}"))?;
+            }
+            "--depth" => {
+                opts.depth = value("--depth")?.parse().map_err(|e| format!("--depth: {e}"))?;
+            }
+            "--random" => {
+                opts.random = value("--random")?.parse().map_err(|e| format!("--random: {e}"))?;
+            }
+            "--skip-bfs" => opts.run_bfs = false,
+            "--skip-diff" => opts.run_diff = false,
+            "--skip-mutations" => opts.run_mutations = false,
+            "--help" | "-h" => {
+                println!(
+                    "mda-check [--dim N] [--max-states N] [--depth N] [--random N] \
+                     [--skip-bfs] [--skip-diff] [--skip-mutations]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("mda-check: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut failed = false;
+
+    if opts.run_bfs {
+        let cfg = ExploreConfig { max_states: opts.max_states };
+        type BfsRun<'a> = Box<dyn Fn() -> mda_check::ExploreReport + 'a>;
+        let runs: [(&str, BfsRun); 3] = [
+            ("1P2L", Box::new(|| explore_1p2l(opts.dim, Mutation::None, &cfg))),
+            ("2P2L/sparse", Box::new(|| explore_2p2l(opts.dim, true, Mutation::None, &cfg))),
+            ("2P2L/dense", Box::new(|| explore_2p2l(opts.dim, false, Mutation::None, &cfg))),
+        ];
+        for (name, run) in &runs {
+            let report = run();
+            match &report.counterexample {
+                Some(cex) => {
+                    failed = true;
+                    eprintln!("FAIL bfs {name}: {cex}");
+                }
+                None => {
+                    let completeness = if report.truncated {
+                        "TRUNCATED (raise --max-states)"
+                    } else {
+                        "exhaustive"
+                    };
+                    println!(
+                        "ok   bfs {name}: {} states, {} transitions, {completeness}, \
+                         dim {}",
+                        report.states, report.transitions, opts.dim
+                    );
+                    if report.truncated {
+                        failed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    if opts.run_mutations {
+        let cfg = ExploreConfig { max_states: opts.max_states };
+        let mutations = [
+            ("drop-writeback-word", Mutation::DropWritebackWord { offset: 0 }),
+            ("skip-duplicate-eviction", Mutation::SkipDuplicateEviction),
+        ];
+        for (name, mutation) in mutations {
+            let report = explore_1p2l(opts.dim, mutation, &cfg);
+            match report.counterexample {
+                Some(cex) => println!(
+                    "ok   mutation {name}: caught as `{}` after {} ops",
+                    cex.violation,
+                    cex.trace.len()
+                ),
+                None => {
+                    failed = true;
+                    eprintln!("FAIL mutation {name}: seeded bug was NOT detected");
+                }
+            }
+        }
+        let report = explore_2p2l(opts.dim, true, Mutation::DropWritebackWord { offset: 0 }, &cfg);
+        match report.counterexample {
+            Some(cex) => {
+                println!("ok   mutation drop-writeback-word (2P2L): caught as `{}`", cex.violation)
+            }
+            None => {
+                failed = true;
+                eprintln!("FAIL mutation drop-writeback-word (2P2L): NOT detected");
+            }
+        }
+    }
+
+    if opts.run_diff {
+        let cfg = DiffConfig { depth: opts.depth, random: opts.random, ..DiffConfig::default() };
+        let report = run_differential(&cfg);
+        match &report.mismatch {
+            Some(m) => {
+                failed = true;
+                eprintln!("FAIL diff: {m}");
+            }
+            None => println!(
+                "ok   diff: {} sequences, {} ops, real levels agree with the models",
+                report.sequences, report.steps
+            ),
+        }
+        let mutated = run_differential_with_dropped_word(0, &cfg);
+        match mutated.mismatch {
+            Some(m) => println!(
+                "ok   diff mutation: dropped-word double caught on {} at op {}",
+                m.config,
+                m.step + 1
+            ),
+            None => {
+                failed = true;
+                eprintln!("FAIL diff mutation: writeback-dropping double was NOT detected");
+            }
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+}

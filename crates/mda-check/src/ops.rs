@@ -1,0 +1,248 @@
+//! The operation vocabulary shared by the BFS explorer and the
+//! differential replayer.
+//!
+//! An [`Op`] is one externally visible event at a cache level: a
+//! processor-side access (with its demand fill on a miss), an incoming
+//! writeback from an upper level, a replacement decision, or a flush. Both
+//! abstract models apply ops atomically; the differential driver decomposes
+//! the same ops into the real `CacheLevel` probe/fill/absorb calls.
+
+use crate::model::{Model1P2L, MODEL_TILE};
+use crate::model2p2l::Model2P2L;
+use mda_cache::Writeback;
+use mda_mem::{LineKey, Orientation, WordAddr};
+
+/// One transition of the checked system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Scalar read of a word with an orientation preference.
+    ScalarRead {
+        /// The accessed word.
+        word: WordAddr,
+        /// Compiler preference.
+        orient: Orientation,
+    },
+    /// Scalar write of a word with an orientation preference.
+    ScalarWrite {
+        /// The accessed word.
+        word: WordAddr,
+        /// Compiler preference.
+        orient: Orientation,
+    },
+    /// Vector read of a full line.
+    VectorRead {
+        /// The accessed line.
+        line: LineKey,
+    },
+    /// Vector write of a full line.
+    VectorWrite {
+        /// The accessed line.
+        line: LineKey,
+    },
+    /// A writeback with `dirty` words arriving from an upper level
+    /// (absorbed in place, or write-allocated when the line is absent).
+    Absorb {
+        /// The written-back line.
+        line: LineKey,
+        /// Dirty word mask carried by the writeback.
+        dirty: u8,
+    },
+    /// Replacement evicts one line (1P2L; the explorer's nondeterministic
+    /// stand-in for any index mapping's victim choice).
+    EvictLine {
+        /// The victim.
+        line: LineKey,
+    },
+    /// Replacement evicts the whole block (2P2L).
+    EvictBlock,
+    /// End-of-phase flush of the level.
+    Flush,
+}
+
+impl std::fmt::Display for Op {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Op::ScalarRead { word, orient } => write!(f, "R {word} pref {orient}"),
+            Op::ScalarWrite { word, orient } => write!(f, "W {word} pref {orient}"),
+            Op::VectorRead { line } => write!(f, "VR {line}"),
+            Op::VectorWrite { line } => write!(f, "VW {line}"),
+            Op::Absorb { line, dirty } => write!(f, "WB<- {line} mask {dirty:#04x}"),
+            Op::EvictLine { line } => write!(f, "EVICT {line}"),
+            Op::EvictBlock => write!(f, "EVICT block"),
+            Op::Flush => write!(f, "FLUSH"),
+        }
+    }
+}
+
+/// Result of applying an [`Op`] to a model.
+#[derive(Debug, Clone, Default)]
+pub struct ModelStep {
+    /// Whether the access hit (meaningless for evictions/flushes).
+    pub hit: bool,
+    /// Whether a read was served by a stale copy.
+    pub stale_read: bool,
+    /// Writebacks emitted toward memory.
+    pub writebacks: Vec<Writeback>,
+}
+
+/// The scalar words and lines of the `dim × dim` model tile.
+fn words(dim: u8) -> impl Iterator<Item = WordAddr> {
+    (0..dim).flat_map(move |r| (0..dim).map(move |c| WordAddr::from_tile_coords(MODEL_TILE, r, c)))
+}
+
+fn lines(dim: u8) -> impl Iterator<Item = LineKey> {
+    Orientation::BOTH
+        .into_iter()
+        .flat_map(move |o| (0..dim).map(move |i| LineKey::new(MODEL_TILE, o, i)))
+}
+
+/// The explorer's transition alphabet for the 1P2L model: every scalar and
+/// vector access in both orientations plus a nondeterministic per-line
+/// eviction. Upper-level writebacks are omitted — on this model they are
+/// behaviorally subsumed by write hits (absorb = `write_resident`) and
+/// write-allocating fills, which the access ops already exercise.
+pub fn alphabet_1p2l(dim: u8) -> Vec<Op> {
+    let mut ops = Vec::new();
+    for word in words(dim) {
+        for orient in Orientation::BOTH {
+            ops.push(Op::ScalarRead { word, orient });
+            ops.push(Op::ScalarWrite { word, orient });
+        }
+    }
+    for line in lines(dim) {
+        ops.push(Op::VectorRead { line });
+        ops.push(Op::VectorWrite { line });
+        ops.push(Op::EvictLine { line });
+    }
+    ops
+}
+
+/// The explorer's transition alphabet for the 2P2L model.
+pub fn alphabet_2p2l(dim: u8) -> Vec<Op> {
+    let mut ops = Vec::new();
+    for word in words(dim) {
+        for orient in Orientation::BOTH {
+            ops.push(Op::ScalarRead { word, orient });
+            ops.push(Op::ScalarWrite { word, orient });
+        }
+    }
+    for line in lines(dim) {
+        ops.push(Op::VectorRead { line });
+        ops.push(Op::VectorWrite { line });
+    }
+    ops.push(Op::EvictBlock);
+    ops
+}
+
+/// Applies `op` to the 1P2L model, demand-filling on misses exactly as the
+/// `mda-sim` hierarchy driver would (write-allocate pre-dirties the written
+/// words).
+pub fn apply_1p2l(m: &mut Model1P2L, op: &Op) -> ModelStep {
+    let mut step = ModelStep::default();
+    match *op {
+        Op::ScalarRead { word, orient } => {
+            let (hit, fresh) = m.scalar_read(word, orient);
+            step.hit = hit;
+            step.stale_read = hit && !fresh;
+            if !hit {
+                m.fill(LineKey::containing(word, orient), 0, &mut step.writebacks);
+            }
+        }
+        Op::ScalarWrite { word, orient } => {
+            step.hit = m.scalar_write(word, orient, &mut step.writebacks);
+            if !step.hit {
+                let line = LineKey::containing(word, orient);
+                let off = line.offset_of(word).unwrap_or(0);
+                m.fill(line, 1 << off, &mut step.writebacks);
+            }
+        }
+        Op::VectorRead { line } => {
+            step.hit = m.vector_read(&line);
+            if !step.hit {
+                m.fill(line, 0, &mut step.writebacks);
+            }
+        }
+        Op::VectorWrite { line } => {
+            step.hit = m.vector_write(line, &mut step.writebacks);
+            if !step.hit {
+                m.fill(line, m.full_mask(), &mut step.writebacks);
+            }
+        }
+        Op::Absorb { line, dirty } => {
+            let wb = Writeback { line, dirty };
+            step.hit = m.absorb_writeback(&wb, &mut step.writebacks);
+            if !step.hit {
+                m.fill(line, dirty, &mut step.writebacks);
+            }
+        }
+        Op::EvictLine { line } => m.evict_line(line, &mut step.writebacks),
+        Op::EvictBlock => {}
+        Op::Flush => m.flush(&mut step.writebacks),
+    }
+    step
+}
+
+/// Applies `op` to the 2P2L model; dense mode fills the companion lines of
+/// the demand orientation like the real dense-fill ablation.
+pub fn apply_2p2l(m: &mut Model2P2L, op: &Op) -> ModelStep {
+    let mut step = ModelStep::default();
+    let fill_miss = |m: &mut Model2P2L, line: LineKey, dirty: u8, step: &mut ModelStep| {
+        let companions: Vec<LineKey> = if m.is_sparse() {
+            Vec::new()
+        } else {
+            (0..m.dim())
+                .filter(|&i| i != line.idx && !m.present(&LineKey::new(MODEL_TILE, line.orient, i)))
+                .map(|i| LineKey::new(MODEL_TILE, line.orient, i))
+                .collect()
+        };
+        // Demand line first (critical-line-first), then companions.
+        m.fill(line, dirty, &mut step.writebacks);
+        for c in companions {
+            m.fill(c, 0, &mut step.writebacks);
+        }
+    };
+    match *op {
+        Op::ScalarRead { word, orient } => {
+            let (hit, fresh) = m.scalar_read(word, orient);
+            step.hit = hit;
+            step.stale_read = hit && !fresh;
+            if !hit {
+                fill_miss(m, LineKey::containing(word, orient), 0, &mut step);
+            }
+        }
+        Op::ScalarWrite { word, orient } => {
+            step.hit = m.scalar_write(word, orient);
+            if !step.hit {
+                let line = LineKey::containing(word, orient);
+                let off = line.offset_of(word).unwrap_or(0);
+                fill_miss(m, line, 1 << off, &mut step);
+            }
+        }
+        Op::VectorRead { line } => {
+            let (hit, fresh) = m.vector_read(&line);
+            step.hit = hit;
+            step.stale_read = hit && !fresh;
+            if !hit {
+                fill_miss(m, line, 0, &mut step);
+            }
+        }
+        Op::VectorWrite { line } => {
+            step.hit = m.vector_write(&line);
+            if !step.hit {
+                let full = m.full_mask();
+                fill_miss(m, line, full, &mut step);
+            }
+        }
+        Op::Absorb { line, dirty } => {
+            let wb = Writeback { line, dirty };
+            step.hit = m.absorb_writeback(&wb);
+            if !step.hit {
+                m.fill(line, dirty, &mut step.writebacks);
+            }
+        }
+        Op::EvictLine { .. } => {}
+        Op::EvictBlock => m.evict_block(&mut step.writebacks),
+        Op::Flush => m.flush(&mut step.writebacks),
+    }
+    step
+}

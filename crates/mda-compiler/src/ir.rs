@@ -183,6 +183,7 @@ impl Program {
     /// undeclared array.
     pub fn add_nest(&mut self, mut nest: LoopNest) {
         if let Err(msg) = nest.validate() {
+            // mda-lint: allow(lib-unwrap): documented `# Panics` contract rejecting invalid loop nests
             panic!("invalid loop nest: {msg}");
         }
         for r in &mut nest.refs {

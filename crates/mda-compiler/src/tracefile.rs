@@ -26,6 +26,21 @@ const FLAG_VECTOR: u8 = 1 << 1;
 const FLAG_WRITE: u8 = 1 << 2;
 const FLAG_COMPUTE: u8 = 1 << 3;
 
+/// Infallible little-endian `u32` at `off` (callers pass in-bounds offsets
+/// into fixed-size buffers, so no panicking `try_into` conversion needed).
+fn le_u32(bytes: &[u8], off: usize) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&bytes[off..off + 4]);
+    u32::from_le_bytes(b)
+}
+
+/// Infallible little-endian `u64` at `off`.
+fn le_u64(bytes: &[u8], off: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&bytes[off..off + 8]);
+    u64::from_le_bytes(b)
+}
+
 /// Serializes the trace of `src` under `opts` into `out`.
 ///
 /// # Errors
@@ -123,22 +138,22 @@ impl RecordedTrace {
         if &header[..4] != MAGIC {
             return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
         }
-        let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        let version = le_u32(&header, 4);
         if version != VERSION {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("unsupported trace version {version}"),
             ));
         }
-        let count = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+        let count = le_u64(&header, 8);
 
         let mut ops = Vec::with_capacity(count.min(1 << 24) as usize);
         let mut footprint = 0u64;
         let mut rec = [0u8; 16];
         for _ in 0..count {
             input.read_exact(&mut rec)?;
-            let addr = u64::from_le_bytes(rec[..8].try_into().expect("8 bytes"));
-            let stream = u32::from_le_bytes(rec[8..12].try_into().expect("4 bytes"));
+            let addr = le_u64(&rec, 0);
+            let stream = le_u32(&rec, 8);
             let flags = rec[12];
             if flags & FLAG_COMPUTE != 0 {
                 let n = u32::try_from(addr).map_err(|_| {

@@ -1,3 +1,4 @@
+// mda-lint: hot-path
 //! Address geometry: words, lines, tiles and the Fig. 8 address decode.
 //!
 //! The paper fixes a 64-bit word, a 64-byte cache line (8 words) and a

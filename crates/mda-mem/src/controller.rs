@@ -39,6 +39,7 @@ impl MainMemory {
     /// the provided presets or validate them first.
     pub fn new(config: MemConfig) -> MainMemory {
         if let Err(msg) = config.validate() {
+            // mda-lint: allow(lib-unwrap): documented `# Panics` contract rejecting invalid configs
             panic!("invalid MemConfig: {msg}");
         }
         let banks = (0..config.total_banks())

@@ -60,7 +60,7 @@ impl MemStats {
     /// Total 8-byte words moved in either direction (the denominator for
     /// word-granular fault rates).
     pub fn words_accessed(&self) -> u64 {
-        self.total_bytes() / crate::addr::WORD_BYTES as u64
+        self.total_bytes() / crate::addr::WORD_BYTES
     }
 
     /// Raw (pre-ECC) word fault rate over all words accessed; zero when

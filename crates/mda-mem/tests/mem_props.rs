@@ -139,7 +139,7 @@ proptest! {
     ) {
         let cfg =
             MemConfig::paper().with_faults(FaultConfig::uniform(seed, 0.05, 0.01, 0.005));
-        let mut a = MainMemory::new(cfg.clone());
+        let mut a = MainMemory::new(cfg);
         let mut b = MainMemory::new(cfg);
         let mut now = 0u64;
         for (line, words, is_write) in ops {

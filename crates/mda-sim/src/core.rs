@@ -69,6 +69,7 @@ impl Core {
     /// Panics if the configuration is invalid.
     pub fn new(cfg: CoreConfig) -> Core {
         if let Err(msg) = cfg.validate() {
+            // mda-lint: allow(lib-unwrap): documented `# Panics` contract rejecting invalid configs
             panic!("invalid CoreConfig: {msg}");
         }
         Core {
@@ -103,6 +104,7 @@ impl Core {
     fn next_issue_slot(&mut self, is_mem: bool) -> Cycle {
         // Window full: the oldest in-flight µop must retire to free a slot.
         if self.window.len() >= self.cfg.window {
+            // mda-lint: allow(lib-unwrap): structural invariant; guarded by the window-full check above
             let frees_at = self.window.pop_front().expect("window non-empty");
             if frees_at > self.cur_cycle {
                 self.cur_cycle = frees_at;

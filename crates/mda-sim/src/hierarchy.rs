@@ -1,3 +1,4 @@
+// mda-lint: hot-path
 //! The cache-hierarchy driver: wires cache levels, 2-D MSHRs, the baseline
 //! prefetcher and the MDA main memory into one demand path.
 //!
@@ -58,7 +59,9 @@ impl Hierarchy {
         mem: MainMemory,
     ) -> Hierarchy {
         assert!(!levels.is_empty(), "hierarchy needs at least one cache level");
+        // mda-lint: allow(hot-path-alloc): constructor wiring, runs once per hierarchy
         let mshrs = levels.iter().map(|l| Mshr::new(l.config().mshrs)).collect();
+        // mda-lint: allow(hot-path-alloc): constructor wiring, runs once per hierarchy
         let path = (0..levels.len()).collect();
         let probes = vec![Probe::hit(); levels.len()];
         Hierarchy {
@@ -67,6 +70,7 @@ impl Hierarchy {
             paths: vec![path],
             prefetchers: vec![prefetcher],
             mem,
+            // mda-lint: allow(hot-path-alloc): empty pool; demand-path buffers are recycled
             scratch: Vec::new(),
             probes,
         }
@@ -87,7 +91,9 @@ impl Hierarchy {
     ) -> Hierarchy {
         assert!(!private_per_core.is_empty(), "need at least one core");
         assert_eq!(private_per_core.len(), prefetchers.len(), "one prefetcher slot per core");
+        // mda-lint: allow(hot-path-alloc): constructor wiring, runs once per hierarchy
         let mut levels: Vec<LevelKind> = Vec::new();
+        // mda-lint: allow(hot-path-alloc): constructor wiring, runs once per hierarchy
         let mut paths = Vec::new();
         for privates in private_per_core {
             let mut path = Vec::with_capacity(privates.len() + 1);
@@ -102,8 +108,10 @@ impl Hierarchy {
         for p in &mut paths {
             p.push(llc_idx);
         }
+        // mda-lint: allow(hot-path-alloc): constructor wiring, runs once per hierarchy
         let mshrs = levels.iter().map(|l| Mshr::new(l.config().mshrs)).collect();
         let probes = vec![Probe::hit(); levels.len()];
+        // mda-lint: allow(hot-path-alloc): empty pool; demand-path buffers are recycled
         Hierarchy { levels, mshrs, paths, prefetchers, mem, scratch: Vec::new(), probes }
     }
 
@@ -173,12 +181,9 @@ impl Hierarchy {
 
         // The baseline prefetcher trains on L1 demand traffic (row-line
         // granular) and fetches ahead without blocking the demand path.
-        if self.prefetchers[core].is_some() {
+        if let Some(pf) = self.prefetchers[core].as_mut() {
             let line_addr = LineKey::containing(acc.word, Orientation::Row).base_addr();
-            let targets = self.prefetchers[core]
-                .as_mut()
-                .expect("checked above")
-                .observe(acc.stream, line_addr);
+            let targets = pf.observe(acc.stream, line_addr);
             for t in targets {
                 self.prefetch(
                     core,

@@ -39,6 +39,7 @@ pub struct MulticoreReport {
 impl MulticoreReport {
     /// The shared LLC's statistics.
     pub fn llc(&self) -> &mda_cache::CacheStats {
+        // mda-lint: allow(lib-unwrap): structural invariant; the constructor always builds the LLC
         self.levels.last().expect("at least the LLC")
     }
 }
@@ -60,6 +61,7 @@ impl SystemConfig {
             // levels (everything above the LLC).
             let single = self.build_hierarchy();
             let mut levels = single.into_levels();
+            // mda-lint: allow(lib-unwrap): structural invariant; build_hierarchy always yields L1+L2+LLC
             let _llc = levels.pop().expect("three-level hierarchy");
             privates.push(levels);
             prefetchers.push(match self.kind {
@@ -71,6 +73,7 @@ impl SystemConfig {
         }
         let shared_llc = {
             let single = self.build_hierarchy();
+            // mda-lint: allow(lib-unwrap): structural invariant; build_hierarchy always yields L1+L2+LLC
             single.into_levels().pop().expect("three-level hierarchy")
         };
         Hierarchy::multicore(privates, shared_llc, prefetchers, MainMemory::new(self.mem))
@@ -122,6 +125,7 @@ pub fn simulate_multicore(sources: &[&dyn TraceSource], cfg: &SystemConfig) -> M
         .iter()
         .zip(&finished)
         .zip(&counts)
+        // mda-lint: allow(lib-unwrap): structural invariant; the scheduler loop runs until every core finishes
         .map(|((t, f), c)| (t.name().to_string(), f.expect("all cores finished"), *c))
         .collect();
     let makespan = per_core.iter().map(|(_, c, _)| *c).max().unwrap_or(0);

@@ -232,11 +232,13 @@ impl SystemConfig {
     /// validate explicitly first to handle the error gracefully.
     pub fn build_hierarchy(&self) -> Hierarchy {
         if let Err(e) = self.validate() {
+            // mda-lint: allow(lib-unwrap): documented `# Panics` contract rejecting invalid configs
             panic!("invalid SystemConfig: {e}");
         }
         let mut non_llc = vec![self.l1, self.l2];
         let llc_cfg = match self.l3 {
             Some(l3) => l3,
+            // mda-lint: allow(lib-unwrap): structural invariant; validate() requires at least two levels
             None => non_llc.pop().expect("two-level system keeps L1"),
         };
 

@@ -13,8 +13,12 @@
 #   5. degraded-cell drill: a deliberately panicking cell (MDA_PANIC_CELL)
 #      must come back as "degraded" while the rest of the figure survives
 #      and the process exits zero
-#   6. clippy perf lints on the hot-path crates
-#   7. `figures --bench-sim --smoke` must produce a well-formed BENCH_sim.json
+#   6. clippy (warnings + perf lints) across the whole workspace
+#   7. mda-lint: the workspace must be free of hot-path allocations,
+#      library panics, nondeterministic report iteration, and stray clocks
+#   8. mda-check: exhaustive dim-3 model check of the duplicate-word policy
+#      plus the model-vs-real differential at dim 2 (the depth-3 default)
+#   9. `figures --bench-sim --smoke` must produce a well-formed BENCH_sim.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,8 +28,18 @@ cargo build --release
 echo "== tier-1: test suite =="
 cargo test -q
 
-echo "== lint: clippy perf lints on hot-path crates =="
-cargo clippy -q -p mda-cache -p mda-sim -- -D clippy::perf
+echo "== lint: clippy (warnings + perf) on the whole workspace =="
+cargo clippy -q --workspace --all-targets -- -D warnings -D clippy::perf
+
+echo "== lint: mda-lint project rules =="
+cargo run -q --release -p mda-check --bin mda-lint
+
+echo "== check: coherence model check (dim 3) + differential (dim 2) =="
+# BFS all three cache variants exhaustively on a 3×3 tile, then replay the
+# depth-3 sequence enumeration through the real caches. The seeded-mutation
+# self-checks prove the harness would actually catch a policy break.
+cargo run -q --release -p mda-check --bin mda-check -- --dim 3 --skip-diff
+cargo run -q --release -p mda-check --bin mda-check -- --dim 2 --skip-bfs
 
 echo "== smoke: figures all --scale tiny, --jobs 1 vs --jobs 2 =="
 cargo build -q --release -p mda-bench

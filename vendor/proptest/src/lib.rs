@@ -176,15 +176,18 @@ pub mod strategy {
         (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
     }
 
+    /// One weighted arm of a [`Union`]: `(weight, draw)`.
+    pub type UnionArm<T> = (u32, Box<dyn Fn(&mut TestRng) -> T>);
+
     /// Weighted union over same-valued strategies (backs `prop_oneof!`).
     pub struct Union<T> {
-        arms: Vec<(u32, Box<dyn Fn(&mut TestRng) -> T>)>,
+        arms: Vec<UnionArm<T>>,
         total_weight: u64,
     }
 
     impl<T> Union<T> {
         /// A union over `arms` of `(weight, draw)` pairs.
-        pub fn new(arms: Vec<(u32, Box<dyn Fn(&mut TestRng) -> T>)>) -> Self {
+        pub fn new(arms: Vec<UnionArm<T>>) -> Self {
             let total_weight = arms.iter().map(|(w, _)| u64::from(*w)).sum();
             assert!(total_weight > 0, "prop_oneof! needs positive total weight");
             Union { arms, total_weight }
@@ -329,6 +332,7 @@ macro_rules! __proptest_items {
                     $crate::strategy::Strategy::generate(&__strategy, &mut __rng);
                 // Each case runs in a closure so `prop_assume!` can skip it
                 // with an early return.
+                #[allow(clippy::redundant_closure_call)]
                 (move || $body)();
             }
         }
